@@ -1,0 +1,207 @@
+// Lemma 3.1 / 3.2 shape check: cache misses of parallel I-GEP under
+// distributed (per-processor) and shared caches.
+//
+// We schedule the real fork-join DAG with a greedy p-processor scheduler
+// (parallel/dag_sim.hpp), then replay each leaf box's element-access
+// stream into (a) the private ideal cache of its assigned processor and
+// (b) one shared ideal cache, interleaving leaves by scheduled start
+// time. Expectations from the lemmas:
+//   distributed: Q_p stays within a constant of Q_1 + O(sqrt(p)·n²/B)
+//   shared:      Q_p ≈ Q_1 once M_p exceeds M_1 by a modest additive term
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "cachesim/ideal_cache.hpp"
+#include "parallel/dag_sim.hpp"
+
+namespace {
+
+using namespace gep;
+
+// Replays the access pattern of one FW leaf box into a cache.
+void replay_box(IdealCache& cache, const double* basep, index_t n,
+                const LeafBox& b) {
+  auto addr = [&](index_t i, index_t j) {
+    return reinterpret_cast<std::uintptr_t>(basep + i * n + j);
+  };
+  for (index_t k = b.k0; k < b.k0 + b.m; ++k) {
+    for (index_t i = b.i0; i < b.i0 + b.m; ++i) {
+      cache.access(addr(i, k), false);
+      for (index_t j = b.j0; j < b.j0 + b.m; ++j) {
+        cache.access(addr(i, j), false);
+        cache.access(addr(k, j), false);
+        cache.access(addr(i, j), true);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_host_banner(
+      "Cache ablation: parallel I-GEP under distributed vs shared caches");
+  const bool small = bench::small_run();
+  const index_t n = small ? 128 : 256;
+  const index_t base = 16;
+  const std::uint64_t B = 64;
+  const std::uint64_t M1 = 32 * 1024;
+  const double* basep = nullptr;  // symbolic base; addresses only
+  Matrix<double> backing(n, n, 0.0);
+  basep = backing.data();
+
+  std::vector<LeafBox> boxes;
+  SPNode dag = build_igep_dag(DagProblem::FloydWarshall, n, base, &boxes);
+  std::printf("n=%lld, base=%lld, %zu leaf boxes\n\n",
+              static_cast<long long>(n), static_cast<long long>(base),
+              boxes.size());
+
+  // Q_1: the sequential execution replays leaves in DFS (program) order.
+  std::uint64_t q1;
+  {
+    IdealCache c(M1, B);
+    for (const LeafBox& b : boxes) replay_box(c, basep, n, b);
+    q1 = c.stats().misses;
+  }
+  std::printf("Q_1 (M=32KB): %llu misses\n\n",
+              static_cast<unsigned long long>(q1));
+
+  // Distributed caches: p private caches of M1 each.
+  Table dist({"p", "Q_p (distributed)", "Q_p/Q_1",
+              "bound-ish Q_1 + sqrt(p)n^2/B"});
+  for (int p : {1, 2, 4, 8}) {
+    std::vector<IdealCache> caches;
+    caches.reserve(static_cast<std::size_t>(p));
+    for (int q = 0; q < p; ++q) caches.emplace_back(M1, B);
+    auto sched = dag_schedule(dag, p);
+    std::stable_sort(sched.begin(), sched.end(),
+                     [](const ScheduledLeaf& a, const ScheduledLeaf& b) {
+                       return a.start < b.start;
+                     });
+    for (const auto& s : sched) {
+      replay_box(caches[static_cast<std::size_t>(s.proc)], basep, n,
+                 boxes[static_cast<std::size_t>(s.leaf_id)]);
+    }
+    std::uint64_t qp = 0;
+    for (auto& c : caches) qp += c.stats().misses;
+    const double bound =
+        static_cast<double>(q1) +
+        std::sqrt(static_cast<double>(p)) * static_cast<double>(n) * n / (B / 8.0);
+    dist.add_row({Table::integer(p), Table::integer(static_cast<long long>(qp)),
+                  Table::num(static_cast<double>(qp) / static_cast<double>(q1), 2),
+                  Table::num(bound / 1.0e0 / static_cast<double>(q1), 2)});
+  }
+  dist.print(std::cout);
+  dist.write_csv("cache_ablation_distributed.csv");
+
+  // Deterministic schedule of Lemma 3.1(b): partition the output matrix
+  // into p subsquares of side n/sqrt(p); each processor owns one and
+  // executes every leaf whose X block falls in it, in sequential order.
+  // The lemma: this incurs only Q_1 + O(sqrt(p) * n^2/B) misses total.
+  Table det({"p", "Q_p (deterministic)", "Q_p/Q_1",
+             "(Q_1 + sqrt(p)n^2/B)/Q_1"});
+  for (int p : {1, 4, 16}) {  // perfect squares partition evenly
+    const index_t sqp = static_cast<index_t>(std::lround(std::sqrt(p)));
+    const index_t side = n / sqp;
+    std::vector<IdealCache> caches;
+    caches.reserve(static_cast<std::size_t>(p));
+    for (int q = 0; q < p; ++q) caches.emplace_back(M1, B);
+    for (const LeafBox& b : boxes) {  // DFS order per owner
+      const index_t owner = (b.i0 / side) * sqp + (b.j0 / side);
+      replay_box(caches[static_cast<std::size_t>(owner)], basep, n, b);
+    }
+    std::uint64_t qp = 0;
+    for (auto& c : caches) qp += c.stats().misses;
+    const double bound =
+        static_cast<double>(q1) +
+        std::sqrt(static_cast<double>(p)) * static_cast<double>(n) * n /
+            (static_cast<double>(B) / 8.0);
+    det.add_row({Table::integer(p), Table::integer(static_cast<long long>(qp)),
+                 Table::num(static_cast<double>(qp) / static_cast<double>(q1), 2),
+                 Table::num(bound / static_cast<double>(q1), 2)});
+  }
+  det.print(std::cout);
+  det.write_csv("cache_ablation_deterministic.csv");
+
+  // Shared cache: one cache serving all processors, accesses interleaved
+  // by scheduled start order. Sweep the shared capacity M_p.
+  Table shared({"p", "M_p/M_1", "Q_p (shared)", "Q_p/Q_1"});
+  for (int p : {2, 4, 8}) {
+    auto sched = dag_schedule(dag, p);
+    std::stable_sort(sched.begin(), sched.end(),
+                     [](const ScheduledLeaf& a, const ScheduledLeaf& b) {
+                       return a.start < b.start;
+                     });
+    for (double factor : {1.0, 2.0, 4.0}) {
+      IdealCache c(static_cast<std::uint64_t>(factor * M1), B);
+      for (const auto& s : sched) {
+        replay_box(c, basep, n, boxes[static_cast<std::size_t>(s.leaf_id)]);
+      }
+      shared.add_row(
+          {Table::integer(p), Table::num(factor, 1),
+           Table::integer(static_cast<long long>(c.stats().misses)),
+           Table::num(static_cast<double>(c.stats().misses) /
+                          static_cast<double>(q1), 2)});
+    }
+  }
+  shared.print(std::cout);
+  shared.write_csv("cache_ablation_shared.csv");
+
+  // Hybrid 1DF/PDF schedule of Lemma 3.2(b): contract the DAG into
+  // supernodes (recursion subtrees on r x r submatrices, r ~ sqrt(p)
+  // tiles), run supernodes one after another in sequential DFS order
+  // (1DF), and execute each supernode's leaves with all p processors
+  // under a priority-preserving PDF-style interleave. Because priorities
+  // follow the sequential order, locality survives: Q_p stays near Q_1
+  // even with M_p = M_1, unlike the greedy-interleaved schedule above.
+  Table hybrid({"p", "r (tiles)", "Q_p (hybrid, M_p = M_1)", "Q_p/Q_1"});
+  for (int p : {2, 4, 8}) {
+    index_t r_tiles = 1;
+    while (r_tiles * r_tiles < p) r_tiles *= 2;  // sqrt(p) <= r < 2 sqrt(p)
+    const index_t rsize = base * r_tiles;
+    // Group leaves (already in DFS order) by first-seen supernode, then
+    // round-robin interleave each group across p virtual processors.
+    std::vector<int> order;
+    order.reserve(boxes.size());
+    std::map<std::tuple<index_t, index_t, index_t>, std::vector<int>> groups;
+    std::vector<std::tuple<index_t, index_t, index_t>> group_order;
+    for (std::size_t id = 0; id < boxes.size(); ++id) {
+      const LeafBox& b = boxes[id];
+      auto key = std::make_tuple(b.i0 / rsize, b.j0 / rsize, b.k0 / rsize);
+      auto [it, fresh] = groups.try_emplace(key);
+      if (fresh) group_order.push_back(key);
+      it->second.push_back(static_cast<int>(id));
+    }
+    for (const auto& key : group_order) {
+      const auto& leaves = groups[key];
+      const std::size_t chunk = (leaves.size() + p - 1) / p;
+      for (std::size_t step = 0; step < chunk; ++step) {
+        for (int q = 0; q < p; ++q) {
+          std::size_t idx = static_cast<std::size_t>(q) * chunk + step;
+          if (idx < leaves.size()) order.push_back(leaves[idx]);
+        }
+      }
+    }
+    IdealCache c(M1, B);
+    for (int id : order) {
+      replay_box(c, basep, n, boxes[static_cast<std::size_t>(id)]);
+    }
+    hybrid.add_row(
+        {Table::integer(p), Table::integer(r_tiles),
+         Table::integer(static_cast<long long>(c.stats().misses)),
+         Table::num(static_cast<double>(c.stats().misses) /
+                        static_cast<double>(q1), 2)});
+  }
+  hybrid.print(std::cout);
+  hybrid.write_csv("cache_ablation_hybrid.csv");
+  std::printf(
+      "\nexpected (Lemmas 3.1/3.2): distributed Q_p grows by at most a\n"
+      "~sqrt(p)·n²/B additive term; greedy shared Q_p needs extra capacity\n"
+      "to match Q_1, while the hybrid 1DF/PDF schedule holds Q_p ~ Q_1 at\n"
+      "M_p = M_1 (Lemma 3.2(b)).\n");
+  return 0;
+}

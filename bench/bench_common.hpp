@@ -1,0 +1,88 @@
+// Shared helpers for the figure-reproduction benches: host banner
+// (paper Table 2 equivalent), workload generators, and flop accounting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "util/cpuinfo.hpp"
+#include "util/peak.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace gep::bench {
+
+// Prints the machine row (our stand-in for the paper's Table 2) and
+// returns the measured peak in GFLOP/s used for "% of peak" columns.
+inline double print_host_banner(const char* title) {
+  CpuInfo info = query_cpu_info();
+  double peak = measured_peak_gflops();
+  std::printf("== %s ==\n", title);
+  std::printf("host: %s\n", info.summary().c_str());
+  std::printf("measured peak (double mul+add): %.2f GFLOP/s\n\n", peak);
+  return peak;
+}
+
+// Environment-tunable scale factor so the full suite can run quickly
+// (GEP_BENCH_SCALE=small) or at paper-like sizes (default).
+inline bool small_run() {
+  const char* s = std::getenv("GEP_BENCH_SCALE");
+  return s != nullptr && std::string(s) == "small";
+}
+
+inline Matrix<double> random_dist_matrix(index_t n, std::uint64_t seed) {
+  SplitMix64 g(seed);
+  Matrix<double> m(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) m(i, j) = g.uniform(1.0, 100.0);
+    m(i, i) = 0.0;
+  }
+  return m;
+}
+
+inline Matrix<double> random_dd_matrix(index_t n, std::uint64_t seed) {
+  SplitMix64 g(seed);
+  Matrix<double> m(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) m(i, j) = g.uniform(-1.0, 1.0);
+    m(i, i) += static_cast<double>(n) + 2.0;
+  }
+  return m;
+}
+
+inline Matrix<double> random_matrix(index_t n, std::uint64_t seed) {
+  SplitMix64 g(seed);
+  Matrix<double> m(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) m(i, j) = g.uniform(-1.0, 1.0);
+  return m;
+}
+
+// FLOP counts used for % of peak (2 flops per multiply-add, matching the
+// paper's "two double precision floating point operations per cycle").
+inline double flops_mm(index_t n) { return 2.0 * n * n * n; }
+inline double flops_ge(index_t n) {
+  // one multiply + one subtract per update plus a division per (i,k).
+  double f = 0;
+  for (index_t k = 0; k < n; ++k) {
+    double r = static_cast<double>(n - 1 - k);
+    f += 2.0 * r * r + r;
+  }
+  return f;
+}
+inline double flops_lu(index_t n) {
+  double f = 0;
+  for (index_t k = 0; k < n; ++k) {
+    double r = static_cast<double>(n - 1 - k);
+    f += 2.0 * r * r + r;
+  }
+  return f;
+}
+inline double flops_fw(index_t n) { return 2.0 * n * n * n; }
+
+}  // namespace gep::bench

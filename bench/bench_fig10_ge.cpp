@@ -1,0 +1,67 @@
+// Figure 10 reproduction: Gaussian elimination without pivoting —
+// GEP vs I-GEP vs the cache-aware blocked baseline (GotoBLAS stand-in),
+// reported as % of the measured machine peak.
+//
+// Paper result: GotoBLAS+FLAME ~75-83% of peak, I-GEP ~45-55%, GEP only
+// ~7-9%. Our baseline is portable C++ rather than hand-written assembly,
+// so its absolute % of peak is lower, but the ordering
+// blocked > I-GEP > GEP and the (blocked/I-GEP) ~ 1.5x gap is the claim
+// under reproduction. The computation (and flop count) is the LU-style
+// elimination the paper benches via FLAME's LU without pivoting.
+#include "bench_common.hpp"
+
+#include "apps/apps.hpp"
+
+namespace {
+
+using namespace gep;
+using apps::Engine;
+
+double time_engine(const Matrix<double>& init, Engine e, index_t base) {
+  Matrix<double> a = init;
+  WallTimer t;
+  apps::lu_decompose(a, e, {base, 1});
+  double dt = t.seconds();
+  volatile double sink = a(a.rows() - 1, a.cols() - 1);
+  (void)sink;
+  return dt;
+}
+
+}  // namespace
+
+int main() {
+  double peak = bench::print_host_banner(
+      "Figure 10: Gaussian elimination w/o pivoting, % of peak");
+  const bool small = bench::small_run();
+  std::vector<index_t> sizes =
+      small ? std::vector<index_t>{256, 512}
+            : std::vector<index_t>{256, 512, 1024, 2048};
+  const index_t base = 64;
+
+  // "I-GEP" below is the paper's optimized configuration: typed
+  // recursion + iterative base case + bit-interleaved layout (conversion
+  // included). The row-major variant is shown for the layout ablation.
+  Table table({"n", "GEP (s)", "I-GEP rm (s)", "I-GEP (s)", "blocked (s)",
+               "GEP %peak", "I-GEP %peak", "blocked %peak",
+               "I-GEP/blocked ratio"});
+  for (index_t n : sizes) {
+    Matrix<double> init = bench::random_dd_matrix(n, 3);
+    double t_gep = time_engine(init, Engine::Iterative, base);
+    double t_rm = time_engine(init, Engine::IGep, base);
+    double t_igep = time_engine(init, Engine::IGepZ, base);
+    double t_blas = time_engine(init, Engine::Blocked, base);
+    double fl = bench::flops_lu(n);
+    auto pct = [&](double t) { return 100.0 * fl / t / 1e9 / peak; };
+    table.add_row({Table::integer(n), Table::num(t_gep, 3),
+                   Table::num(t_rm, 3), Table::num(t_igep, 3),
+                   Table::num(t_blas, 3), Table::num(pct(t_gep), 1),
+                   Table::num(pct(t_igep), 1), Table::num(pct(t_blas), 1),
+                   Table::num(t_igep / t_blas, 2)});
+  }
+  table.print(std::cout);
+  table.write_csv("fig10_ge.csv");
+  std::printf(
+      "\npaper: GotoBLAS 75-83%% peak, I-GEP 45-55%%, GEP 7-9%%;\n"
+      "expected shape: blocked > I-GEP >> GEP, blocked/I-GEP ~ 1.5x.\n");
+  return 0;
+}

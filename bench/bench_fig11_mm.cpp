@@ -1,0 +1,193 @@
+// Figure 11 reproduction: square matrix multiplication — GEP vs I-GEP vs
+// the cache-aware blocked baseline ("native BLAS" stand-in): % of peak,
+// plus simulated L1/L2 miss counts.
+//
+// Paper results (Opteron 250): native BLAS 78-83% of peak, I-GEP 50-56%,
+// GEP 9-13%; I-GEP incurs FEWER L1 and L2 misses than native BLAS while
+// executing more instructions. For the miss comparison we replay the
+// element-access patterns of all three algorithms (for the baseline: the
+// same cache-aware tiling it uses for real) through the simulated
+// Opteron cache hierarchy.
+#include "bench_common.hpp"
+
+#include "apps/apps.hpp"
+#include "cachesim/set_assoc_cache.hpp"
+
+namespace {
+
+using namespace gep;
+using apps::Engine;
+
+double time_engine(const Matrix<double>& a, const Matrix<double>& b,
+                   Engine e, index_t base) {
+  Matrix<double> c(a.rows(), a.cols(), 0.0);
+  WallTimer t;
+  apps::multiply_add(c, a, b, e, {base, 1});
+  double dt = t.seconds();
+  volatile double sink = c(0, 0);
+  (void)sink;
+  return dt;
+}
+
+struct TracedMat {
+  const double* d;
+  index_t n;
+  CacheHierarchy* h;
+  double get(index_t i, index_t j) const {
+    h->access(reinterpret_cast<std::uintptr_t>(d + i * n + j), false);
+    return d[i * n + j];
+  }
+};
+
+struct TracedMutMat {
+  double* d;
+  index_t n;
+  CacheHierarchy* h;
+  double get(index_t i, index_t j) const {
+    h->access(reinterpret_cast<std::uintptr_t>(d + i * n + j), false);
+    return d[i * n + j];
+  }
+  void set(index_t i, index_t j, double v) {
+    h->access(reinterpret_cast<std::uintptr_t>(d + i * n + j), true);
+    d[i * n + j] = v;
+  }
+};
+
+// Iterative GEP-style MM access pattern.
+void traced_mm_gep(TracedMutMat c, TracedMat a, TracedMat b, index_t n) {
+  for (index_t k = 0; k < n; ++k)
+    for (index_t i = 0; i < n; ++i) {
+      const double aik = a.get(i, k);
+      for (index_t j = 0; j < n; ++j)
+        c.set(i, j, c.get(i, j) + aik * b.get(k, j));
+    }
+}
+
+// Recursive I-GEP MM access pattern (D-function recursion, leaf = box).
+void traced_mm_igep(TracedMutMat c, TracedMat a, TracedMat b, index_t i0,
+                    index_t j0, index_t k0, index_t m, index_t base) {
+  if (m <= base) {
+    for (index_t k = k0; k < k0 + m; ++k)
+      for (index_t i = i0; i < i0 + m; ++i) {
+        const double aik = a.get(i, k);
+        for (index_t j = j0; j < j0 + m; ++j)
+          c.set(i, j, c.get(i, j) + aik * b.get(k, j));
+      }
+    return;
+  }
+  const index_t h = m / 2;
+  for (index_t kk : {k0, k0 + h}) {
+    traced_mm_igep(c, a, b, i0, j0, kk, h, base);
+    traced_mm_igep(c, a, b, i0, j0 + h, kk, h, base);
+    traced_mm_igep(c, a, b, i0 + h, j0, kk, h, base);
+    traced_mm_igep(c, a, b, i0 + h, j0 + h, kk, h, base);
+  }
+}
+
+// Cache-aware tiled MM access pattern (what the blocked baseline does,
+// minus the packing copies — giving the baseline its BEST case).
+void traced_mm_tiled(TracedMutMat c, TracedMat a, TracedMat b, index_t n,
+                     index_t tile) {
+  for (index_t ic = 0; ic < n; ic += tile)
+    for (index_t pc = 0; pc < n; pc += tile)
+      for (index_t jc = 0; jc < n; jc += tile)
+        for (index_t k = pc; k < pc + tile; ++k)
+          for (index_t i = ic; i < ic + tile; ++i) {
+            const double aik = a.get(i, k);
+            for (index_t j = jc; j < jc + tile; ++j)
+              c.set(i, j, c.get(i, j) + aik * b.get(k, j));
+          }
+}
+
+}  // namespace
+
+int main() {
+  double peak = bench::print_host_banner(
+      "Figure 11: square matrix multiplication, % of peak + cache misses");
+  const bool small = bench::small_run();
+  std::vector<index_t> sizes =
+      small ? std::vector<index_t>{256, 512}
+            : std::vector<index_t>{256, 512, 1024, 2048};
+  const index_t base = 64;
+
+  Table table({"n", "GEP (s)", "I-GEP (s)", "I-GEP/Z (s)", "blocked (s)",
+               "GEP %peak", "I-GEP %peak", "blocked %peak"});
+  for (index_t n : sizes) {
+    Matrix<double> a = bench::random_matrix(n, 1);
+    Matrix<double> b = bench::random_matrix(n, 2);
+    double t_gep = time_engine(a, b, Engine::Iterative, base);
+    double t_igep = time_engine(a, b, Engine::IGep, base);
+    double t_igz = time_engine(a, b, Engine::IGepZ, base);
+    double t_blas = time_engine(a, b, Engine::Blocked, base);
+    double fl = bench::flops_mm(n);
+    auto pct = [&](double t) { return 100.0 * fl / t / 1e9 / peak; };
+    table.add_row({Table::integer(n), Table::num(t_gep, 3),
+                   Table::num(t_igep, 3), Table::num(t_igz, 3),
+                   Table::num(t_blas, 3), Table::num(pct(t_gep), 1),
+                   Table::num(pct(t_igep), 1), Table::num(pct(t_blas), 1)});
+  }
+  table.print(std::cout);
+  table.write_csv("fig11_mm_times.csv");
+
+  // Simulated L1/L2 misses, Opteron geometry. The cache-aware tile is
+  // sized for the simulated L1 (64KB: 3 tiles of 48x48 doubles fit).
+  std::vector<index_t> sim_sizes =
+      small ? std::vector<index_t>{128}
+            : std::vector<index_t>{128, 256, 512};
+  Table misses({"n", "algo", "L1 misses", "L2 misses"});
+  for (index_t n : sim_sizes) {
+    Matrix<double> a = bench::random_matrix(n, 3);
+    Matrix<double> b = bench::random_matrix(n, 4);
+    auto run_traced = [&](const char* name, auto&& fn) {
+      Matrix<double> c(n, n, 0.0);
+      CacheHierarchy h(opteron_l1(), opteron_l2());
+      fn(TracedMutMat{c.data(), n, &h}, TracedMat{a.data(), n, &h},
+         TracedMat{b.data(), n, &h});
+      misses.add_row(
+          {Table::integer(n), name,
+           Table::integer(static_cast<long long>(h.l1_stats().misses)),
+           Table::integer(static_cast<long long>(h.l2_stats().misses))});
+    };
+    run_traced("GEP", [&](TracedMutMat c, TracedMat ta, TracedMat tb) {
+      traced_mm_gep(c, ta, tb, n);
+    });
+    run_traced("I-GEP", [&](TracedMutMat c, TracedMat ta, TracedMat tb) {
+      traced_mm_igep(c, ta, tb, 0, 0, 0, n, 32);
+    });
+    run_traced("blocked", [&](TracedMutMat c, TracedMat ta, TracedMat tb) {
+      traced_mm_tiled(c, ta, tb, n, 32);
+    });
+  }
+  misses.print(std::cout);
+  misses.write_csv("fig11_mm_misses.csv");
+
+  // Instruction-count proxy (paper: "I-GEP executes more instructions
+  // than native BLAS"): per-update bookkeeping on top of the n³ updates —
+  // recursion nodes for I-GEP, packing copies for the blocked baseline.
+  Table ops({"n", "algo", "updates", "overhead ops", "overhead/update %"});
+  for (index_t n : sizes) {
+    const double upd = static_cast<double>(n) * n * n;
+    auto row = [&](const char* name, double extra) {
+      ops.add_row({Table::integer(n), name, Table::num(upd / 1e6, 1) + "M",
+                   Table::num(extra / 1e6, 2) + "M",
+                   Table::num(100.0 * extra / upd, 3)});
+    };
+    row("GEP", 3.0 * n);  // loop counters only
+    // I-GEP: ~ (8/7)(n/base)³ recursion nodes, ~40 ops each.
+    const double nodes = 8.0 / 7.0 * (static_cast<double>(n) / base) *
+                         (static_cast<double>(n) / base) *
+                         (static_cast<double>(n) / base);
+    row("I-GEP", 40.0 * nodes);
+    // blocked: packing copies: each element of A and B is packed once
+    // per (jc, pc) resp. (pc, ic) pass.
+    const double packs =
+        static_cast<double>(n) * n * (static_cast<double>(n) / 128.0 + 1) * 2;
+    row("blocked", packs);
+  }
+  ops.print(std::cout);
+  ops.write_csv("fig11_mm_ops.csv");
+  std::printf(
+      "\npaper: BLAS 78-83%% peak, I-GEP 50-56%%, GEP 9-13%%; I-GEP incurs\n"
+      "fewer L1/L2 misses than BLAS but executes more instructions.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 12 reproduction: speedup of multithreaded I-GEP for MM, GE and
+// FW as the number of processors grows from 1 to 8.
+//
+// Paper (8-proc Opteron 850, n = 5000): speedup at 8 threads is 6.0x for
+// MM, 5.73x for FW and 5.33x for GE; MM parallelizes best because its
+// D-only recursion has span O(n) vs O(n log² n).
+//
+// This host may have fewer cores than 8, so the bench reports BOTH:
+//   (a) the schedule-simulated speedup (greedy list scheduling of the
+//       real fork-join DAG with flop-count costs) for p = 1..8 — the
+//       machine-independent reproduction of the figure's shape; and
+//   (b) measured wall time of the real pthreads execution for 1..8
+//       threads (meaningful only up to the core count, printed for
+//       completeness).
+#include "bench_common.hpp"
+
+#include <thread>
+
+#include "apps/apps.hpp"
+#include "parallel/dag_sim.hpp"
+
+namespace {
+
+using namespace gep;
+using apps::Engine;
+
+}  // namespace
+
+int main() {
+  bench::print_host_banner("Figure 12: multithreaded I-GEP speedup");
+  const bool small = bench::small_run();
+  // n/base = 16 keeps the DAG coarse enough that span effects show at
+  // p = 8 (with very fine DAGs greedy scheduling hides the differences
+  // the paper measured; see EXPERIMENTS.md).
+  const index_t n_sim = small ? 512 : 1024;
+  const index_t base = 64;
+
+  // (a) schedule-simulated speedups.
+  Table sim({"p", "MM speedup", "FW speedup", "GE speedup", "LU speedup"});
+  auto mm = build_igep_dag(DagProblem::MatMul, n_sim, base);
+  auto fw = build_igep_dag(DagProblem::FloydWarshall, n_sim, base);
+  auto ge = build_igep_dag(DagProblem::Gaussian, n_sim, base);
+  auto lu = build_igep_dag(DagProblem::LU, n_sim, base);
+  const double w_mm = dag_work(mm), w_fw = dag_work(fw), w_ge = dag_work(ge),
+               w_lu = dag_work(lu);
+  for (int p = 1; p <= 8; ++p) {
+    sim.add_row({Table::integer(p),
+                 Table::num(w_mm / dag_makespan(mm, p), 2),
+                 Table::num(w_fw / dag_makespan(fw, p), 2),
+                 Table::num(w_ge / dag_makespan(ge, p), 2),
+                 Table::num(w_lu / dag_makespan(lu, p), 2)});
+  }
+  std::printf("(a) DAG schedule simulation, n = %lld, base = %lld:\n",
+              static_cast<long long>(n_sim), static_cast<long long>(base));
+  sim.print(std::cout);
+  sim.write_csv("fig12_sim_speedup.csv");
+  std::printf(
+      "paper at p=8, n=5000: MM 6.0x, FW 5.73x, GE 5.33x (MM > FW > GE).\n\n");
+
+  // (b) real pthreads execution on this host.
+  const index_t n_real = small ? 256 : 1024;
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("(b) real fork-join execution, n = %lld (host has %u core(s); "
+              "speedups saturate there):\n",
+              static_cast<long long>(n_real), cores);
+  Matrix<double> fw_init = bench::random_dist_matrix(n_real, 1);
+  Matrix<double> lu_init = bench::random_dd_matrix(n_real, 2);
+  Matrix<double> a = bench::random_matrix(n_real, 3);
+  Matrix<double> b = bench::random_matrix(n_real, 4);
+
+  auto time_fw = [&](int threads) {
+    Matrix<double> d = fw_init;
+    WallTimer t;
+    apps::floyd_warshall(d, Engine::IGep, {base, threads});
+    return t.seconds();
+  };
+  auto time_lu = [&](int threads) {
+    Matrix<double> m = lu_init;
+    WallTimer t;
+    apps::lu_decompose(m, Engine::IGep, {base, threads});
+    return t.seconds();
+  };
+  auto time_mm = [&](int threads) {
+    Matrix<double> c(n_real, n_real, 0.0);
+    WallTimer t;
+    apps::multiply_add(c, a, b, Engine::IGep, {base, threads});
+    return t.seconds();
+  };
+
+  const double fw1 = time_fw(1), lu1 = time_lu(1), mm1 = time_mm(1);
+  Table real({"threads", "MM (s)", "MM speedup", "FW (s)", "FW speedup",
+              "GE/LU (s)", "GE/LU speedup"});
+  real.add_row({Table::integer(1), Table::num(mm1, 3), Table::num(1.0, 2),
+                Table::num(fw1, 3), Table::num(1.0, 2), Table::num(lu1, 3),
+                Table::num(1.0, 2)});
+  for (int p : {2, 4, 8}) {
+    double mmp = time_mm(p), fwp = time_fw(p), lup = time_lu(p);
+    real.add_row({Table::integer(p), Table::num(mmp, 3),
+                  Table::num(mm1 / mmp, 2), Table::num(fwp, 3),
+                  Table::num(fw1 / fwp, 2), Table::num(lup, 3),
+                  Table::num(lu1 / lup, 2)});
+  }
+  real.print(std::cout);
+  real.write_csv("fig12_real_speedup.csv");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Figure 7 reproduction: out-of-core GEP vs I-GEP vs C-GEP (both space
+// variants) for Floyd-Warshall through the STXXL-substitute page cache.
+//
+// 7(a): fixed n and B, sweep M. Paper: GEP's I/O wait is essentially flat
+//       in M and SEVERAL HUNDRED times larger than I-GEP/C-GEP; the
+//       recursive algorithms improve as M grows (Θ(n³/(B√M)) transfers).
+// 7(b): fixed n and M, sweep M/B by varying B. Paper: I/O wait grows
+//       roughly linearly in M/B for the recursive algorithms.
+//
+// I/O wait is simulated with the paper's disk (4.5 ms seek, ~86 MB/s);
+// page transfer COUNTS are exact, so the shapes are hardware-independent.
+#include "bench_common.hpp"
+
+#include "extmem/ooc_matrix.hpp"
+#include "gep/cgep.hpp"
+#include "gep/igep.hpp"
+#include "gep/iterative.hpp"
+
+namespace {
+
+using namespace gep;
+
+enum class Algo { Gep, IGep, CGep4, CGepCompact };
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::Gep: return "GEP";
+    case Algo::IGep: return "I-GEP";
+    case Algo::CGep4: return "C-GEP(4n^2)";
+    case Algo::CGepCompact: return "C-GEP(compact)";
+  }
+  return "?";
+}
+
+struct OocResult {
+  double io_wait_s = 0;
+  std::uint64_t page_ios = 0;
+};
+
+// Runs one algorithm out-of-core with the given disk layout (MatT is
+// OocMatrix — row-major pages — or OocTiledMatrix, the STXXL-style tiled
+// layout the headline tables use; see the layout ablation below).
+template <template <class> class MatT>
+OocResult run_ooc(Algo algo, const Matrix<double>& init, std::uint64_t M,
+                  std::uint64_t B, index_t base) {
+  const index_t n = init.rows();
+  PageCache cache(M, B);
+  MatT<double> c(cache, n, n);
+  c.load(init);
+  auto clone_into = [&](MatT<double>& dst) {
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = 0; j < n; ++j) dst.set(i, j, c.get(i, j));
+  };
+  if (algo == Algo::CGep4) {
+    MatT<double> u0(cache, n, n), u1(cache, n, n), v0(cache, n, n),
+        v1(cache, n, n);
+    clone_into(u0);
+    clone_into(u1);
+    clone_into(v0);
+    clone_into(v1);
+    cache.reset_stats();
+    run_cgep_with_aux(c, u0, u1, v0, v1, MinPlusF{}, FullSet{n}, {base});
+  } else if (algo == Algo::CGepCompact) {
+    const index_t h = n / 2;
+    MatT<double> u0(cache, n, h), u1(cache, n, h), v0(cache, h, n),
+        v1(cache, h, n);
+    cache.reset_stats();
+    run_cgep_compact_with_aux(c, u0, u1, v0, v1, MinPlusF{}, FullSet{n},
+                              {base});
+  } else {
+    cache.reset_stats();
+    if (algo == Algo::Gep) {
+      run_gep(c, MinPlusF{}, FullSet{n});
+    } else {
+      run_igep(c, MinPlusF{}, FullSet{n}, {base});
+    }
+  }
+  cache.flush();
+  return {cache.stats().io_wait_seconds, cache.stats().io()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_host_banner(
+      "Figure 7: out-of-core I/O wait, GEP vs I-GEP vs C-GEP");
+  const bool small = bench::small_run();
+  const index_t n = small ? 128 : 512;
+  // Base 8: C-GEP touches five matrices per box, so the recursion must
+  // descend further than in-core before a box's working set fits small M
+  // — with a large iterative base the base case is no longer cache-sized
+  // and LRU thrashes (see EXPERIMENTS.md). Applied to every algorithm.
+  const index_t base = 8;
+  const std::uint64_t n2bytes = static_cast<std::uint64_t>(n) * n * 8;
+  Matrix<double> init = bench::random_dist_matrix(n, 5);
+  std::printf("n = %lld (matrix = %.1f MB on disk)\n\n",
+              static_cast<long long>(n), n2bytes / 1e6);
+
+  // --- 7(a): vary M at fixed B ------------------------------------------
+  // B scales with n so that even the smallest M is tens of frames.
+  const std::uint64_t B_a = small ? 2 * 1024 : 16 * 1024;
+  Table ta({"M / n^2", "algo", "I/O wait (sim s)", "page I/Os"});
+  for (double frac : {0.125, 0.25, 0.5, 1.0}) {
+    const std::uint64_t M = static_cast<std::uint64_t>(frac * n2bytes);
+    for (Algo a : {Algo::Gep, Algo::IGep, Algo::CGep4, Algo::CGepCompact}) {
+      // GEP at the smallest memory sizes is extremely slow; the paper's
+      // plot holds GEP nearly flat in M, so measure it once at the
+      // largest M and reuse (noted in EXPERIMENTS.md).
+      OocResult r = run_ooc<OocTiledMatrix>(a, init, M, B_a, base);
+      ta.add_row({Table::num(frac, 3), algo_name(a), Table::num(r.io_wait_s, 2),
+                  Table::integer(static_cast<long long>(r.page_ios))});
+    }
+  }
+  ta.print(std::cout);
+  ta.write_csv("fig7a_outofcore.csv");
+
+  // --- 7(b): vary B (i.e. M/B) at fixed M --------------------------------
+  const std::uint64_t M_b = n2bytes / 2;
+  Table tb({"M/B", "B (KB)", "algo", "I/O wait (sim s)", "page I/Os"});
+  const std::uint64_t b_shift = small ? 8 : 1;  // scale B down in small mode
+  for (std::uint64_t B0 : {64 * 1024, 32 * 1024, 16 * 1024, 8 * 1024}) {
+    const std::uint64_t B = B0 / b_shift;
+    for (Algo a : {Algo::Gep, Algo::IGep, Algo::CGep4, Algo::CGepCompact}) {
+      OocResult r = run_ooc<OocTiledMatrix>(a, init, M_b, B, base);
+      (void)B0;
+      tb.add_row({Table::integer(static_cast<long long>(M_b / B)),
+                  Table::num(static_cast<double>(B) / 1024.0, 0), algo_name(a),
+                  Table::num(r.io_wait_s, 2),
+                  Table::integer(static_cast<long long>(r.page_ios))});
+    }
+  }
+  tb.print(std::cout);
+  tb.write_csv("fig7b_outofcore.csv");
+
+  // --- layout ablation: row-major vs tile-major on-disk pages -----------
+  // (the out-of-core analogue of the Section 4.2 bit-interleaved layout)
+  {
+    const std::uint64_t M = n2bytes / 4, B = B_a;
+    Table tc({"layout", "algo", "I/O wait (sim s)", "page I/Os"});
+    for (Algo a : {Algo::IGep, Algo::CGep4}) {
+      OocResult r_rm = run_ooc<OocMatrix>(a, init, M, B, base);
+      OocResult r_tm = run_ooc<OocTiledMatrix>(a, init, M, B, base);
+      tc.add_row({"row-major", algo_name(a), Table::num(r_rm.io_wait_s, 2),
+                  Table::integer(static_cast<long long>(r_rm.page_ios))});
+      tc.add_row({"tile-major", algo_name(a), Table::num(r_tm.io_wait_s, 2),
+                  Table::integer(static_cast<long long>(r_tm.page_ios))});
+    }
+    std::printf("layout ablation (M = n^2/4, B = %llu KB):\n",
+                static_cast<unsigned long long>(B / 1024));
+    tc.print(std::cout);
+    tc.write_csv("fig7_layout_ablation.csv");
+  }
+  std::printf(
+      "\npaper: GEP waits 100-500x longer than I-GEP/C-GEP; GEP flat in M,\n"
+      "I-GEP/C-GEP improve with M; I/O wait grows ~linearly with M/B.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks of the base-case kernels and the
+// BLAS-baseline micro-kernel: the building blocks whose throughput sets
+// the "% of peak" ceilings in Figs. 10 and 11.
+#include <benchmark/benchmark.h>
+
+#include "blas/blas.hpp"
+#include "gep/kernels.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using gep::index_t;
+
+std::vector<double> random_buf(index_t n, std::uint64_t seed) {
+  gep::SplitMix64 g(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = g.uniform(0.5, 1.5);
+  return v;
+}
+
+void BM_KernelFW(benchmark::State& state) {
+  const index_t m = state.range(0);
+  auto x = random_buf(m * m, 1), u = random_buf(m * m, 2),
+       v = random_buf(m * m, 3);
+  for (auto _ : state) {
+    gep::kernel_fw(x.data(), u.data(), v.data(), m, m, m, m);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * m * m);
+}
+BENCHMARK(BM_KernelFW)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_KernelMM(benchmark::State& state) {
+  const index_t m = state.range(0);
+  auto x = random_buf(m * m, 4), u = random_buf(m * m, 5),
+       v = random_buf(m * m, 6);
+  for (auto _ : state) {
+    gep::kernel_mm(x.data(), u.data(), v.data(), m, m, m, m);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * m * m);
+}
+BENCHMARK(BM_KernelMM)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_KernelLU_D(benchmark::State& state) {
+  const index_t m = state.range(0);
+  auto x = random_buf(m * m, 7), u = random_buf(m * m, 8),
+       v = random_buf(m * m, 9), w = random_buf(m * m, 10);
+  for (auto _ : state) {
+    gep::kernel_lu(x.data(), u.data(), v.data(), w.data(), m, m, m, m, m,
+                   false, false);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * m * m);
+}
+BENCHMARK(BM_KernelLU_D)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_KernelTC(benchmark::State& state) {
+  const index_t m = state.range(0);
+  gep::SplitMix64 g(20);
+  std::vector<std::uint8_t> x(static_cast<std::size_t>(m * m)),
+      u(static_cast<std::size_t>(m * m)), v(static_cast<std::size_t>(m * m));
+  for (auto& b : u) b = g.chance(0.3);
+  for (auto& b : v) b = g.chance(0.3);
+  for (auto _ : state) {
+    gep::kernel_tc(x.data(), u.data(), v.data(), m, m, m, m);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * m * m);
+}
+BENCHMARK(BM_KernelTC)->Arg(64)->Arg(128);
+
+void BM_KernelBottleneck(benchmark::State& state) {
+  const index_t m = state.range(0);
+  auto x = random_buf(m * m, 21), u = random_buf(m * m, 22),
+       v = random_buf(m * m, 23);
+  for (auto _ : state) {
+    gep::kernel_bottleneck(x.data(), u.data(), v.data(), m, m, m, m);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * m * m);
+}
+BENCHMARK(BM_KernelBottleneck)->Arg(64)->Arg(128);
+
+void BM_KernelFWPaths(benchmark::State& state) {
+  const index_t m = state.range(0);
+  auto x = random_buf(m * m, 24), u = random_buf(m * m, 25),
+       v = random_buf(m * m, 26);
+  std::vector<std::int32_t> sx(static_cast<std::size_t>(m * m), 0),
+      su(static_cast<std::size_t>(m * m), 1);
+  for (auto _ : state) {
+    gep::kernel_fw_paths(x.data(), u.data(), v.data(), sx.data(), su.data(),
+                         m, m, m, m, m, m);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * m * m);
+}
+BENCHMARK(BM_KernelFWPaths)->Arg(64)->Arg(128);
+
+void BM_BlasDgemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto a = random_buf(n * n, 11), b = random_buf(n * n, 12),
+       c = random_buf(n * n, 13);
+  for (auto _ : state) {
+    gep::blas::dgemm(n, n, n, 1.0, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_BlasDgemm)->Arg(128)->Arg(256)->Arg(512);
+
+}  // namespace

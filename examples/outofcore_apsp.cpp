@@ -1,0 +1,78 @@
+// Out-of-core APSP: the exact same I-GEP engine, now on a disk-backed
+// matrix that does not fit in (simulated) memory.
+//
+// The page cache is configured with M = one quarter of the matrix and
+// B = 8 KB pages; the demo contrasts the page traffic of iterative GEP
+// with I-GEP at identical (M, B), and verifies both against an in-core
+// run — the paper's portability claim, executed.
+#include <cstdio>
+
+#include "extmem/ooc_matrix.hpp"
+#include "gep/igep.hpp"
+#include "gep/iterative.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+using namespace gep;
+
+namespace {
+
+Matrix<double> make_graph(index_t n) {
+  SplitMix64 rng(99);
+  Matrix<double> w(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j)
+      w(i, j) = rng.chance(0.2) ? rng.uniform(1.0, 20.0) : 1e30;
+    w(i, i) = 0;
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  const index_t n = 256;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * n * 8;
+  const std::uint64_t M = bytes / 4;  // only a quarter fits "in memory"
+  const std::uint64_t B = 8 * 1024;
+  Matrix<double> w = make_graph(n);
+
+  // In-core reference.
+  Matrix<double> ref = w;
+  run_igep(ref, MinPlusF{}, FullSet{n}, {32});
+
+  std::printf("matrix: %.1f MB on disk, cache M = %.1f MB, B = %llu KB\n\n",
+              bytes / 1e6, M / 1e6,
+              static_cast<unsigned long long>(B / 1024));
+
+  auto run_one = [&](const char* name, auto&& engine) {
+    PageCache cache(M, B);
+    OocMatrix<double> d(cache, n, n);
+    d.load(w);
+    cache.reset_stats();
+    WallTimer t;
+    engine(d);
+    cache.flush();
+    double wall = t.seconds();
+    Matrix<double> out = d.to_matrix();
+    // GEP and I-GEP relax paths in different association orders, so
+    // finite distances may differ by ulps; compare with a tolerance.
+    std::printf("%-8s  page I/Os: %8llu   simulated I/O wait: %8.2f s   "
+                "wall: %.2f s   correct: %s\n",
+                name, static_cast<unsigned long long>(cache.stats().io()),
+                cache.stats().io_wait_seconds, wall,
+                max_abs_diff(out, ref) < 1e-6 ? "yes" : "NO");
+  };
+
+  run_one("GEP", [&](OocMatrix<double>& d) {
+    run_gep(d, MinPlusF{}, FullSet{n});
+  });
+  run_one("I-GEP", [&](OocMatrix<double>& d) {
+    run_igep(d, MinPlusF{}, FullSet{n}, {32});
+  });
+
+  std::printf("\nsame algorithm object code, in-core and out-of-core —\n"
+              "only the accessor changed. I-GEP's page traffic is the\n"
+              "Θ(n³/(B√M)) vs Θ(n³/B) gap of the paper's Figure 7.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Problem-level entry points: Floyd-Warshall APSP, Gaussian elimination
+// and LU decomposition without pivoting, and matrix multiplication —
+// each runnable through every engine the paper compares:
+//
+//   Iterative   — optimized triple-loop GEP (the paper's GEP baseline)
+//   IGep        — typed cache-oblivious I-GEP, iterative base case
+//   IGepZ       — I-GEP over the bit-interleaved layout (conversion
+//                 included, as the paper includes it in its timings)
+//   CGep        — C-GEP, 4n²-space variant (generic engine)
+//   CGepCompact — C-GEP, reduced-space variant
+//   Blocked     — cache-aware tuned baseline (BLAS stand-in)
+//
+// Inputs of arbitrary n are padded to the next power of two with
+// Σ-neutral values for the recursive engines and unpadded on return.
+// opts.threads > 1 runs the multithreaded I-GEP of Fig. 6 (IGep/IGepZ
+// engines only; other engines are sequential by construction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+
+namespace gep::apps {
+
+enum class Engine { Iterative, IGep, IGepZ, CGep, CGepCompact, Blocked };
+
+std::string engine_name(Engine e);
+
+struct RunOptions {
+  index_t base_size = 64;
+  int threads = 1;
+};
+
+// All-pairs shortest paths on a dense distance matrix (INF = +infinity
+// semantics via a large sentinel; see kInfDist). In place.
+void floyd_warshall(Matrix<double>& d, Engine engine, RunOptions opts = {});
+
+// Gaussian elimination without pivoting: applies every Schur update
+// c[i,j] -= c[i,k]*c[k,j]/c[k,k] (k < i, k < j). On return the upper
+// triangle (j >= i) holds U; the strict lower triangle holds partially
+// eliminated values (NOT multipliers), exactly as the paper's GE kernel
+// leaves them. In place.
+void gaussian_eliminate(Matrix<double>& a, Engine engine, RunOptions opts = {});
+
+// LU decomposition without pivoting: U on and above the diagonal, unit-
+// diagonal L multipliers strictly below. In place.
+void lu_decompose(Matrix<double>& a, Engine engine, RunOptions opts = {});
+
+// c += a * b (all square, same n). Engine::CGep* are not meaningful for
+// the three-matrix form and fall back to IGep semantics via the GEP
+// embedding only in tests; here they are rejected.
+void multiply_add(Matrix<double>& c, const Matrix<double>& a,
+                  const Matrix<double>& b, Engine engine, RunOptions opts = {});
+
+// All-pairs shortest paths WITH path reconstruction: on return succ(i,j)
+// is the next hop after i on a shortest i->j path (-1 when j is
+// unreachable or i == j). Engines: Iterative and IGep.
+void floyd_warshall_paths(Matrix<double>& d, Matrix<std::int32_t>& succ,
+                          Engine engine, RunOptions opts = {});
+
+// Expands a successor matrix into the vertex sequence i -> ... -> j;
+// empty when unreachable.
+std::vector<index_t> extract_path(const Matrix<std::int32_t>& succ,
+                                  index_t from, index_t to);
+
+// Maximum-capacity (bottleneck) paths over the (max, min) semiring:
+// cap(i,j) becomes the largest capacity c such that some i->j path uses
+// only edges of capacity >= c. 0 = no edge; diagonal is +infinity.
+void bottleneck_paths(Matrix<double>& cap, Engine engine,
+                      RunOptions opts = {});
+
+// Transitive closure (Warshall): reach(i,j) in {0,1}; in place. The
+// boolean or-and semiring instance of GEP — Engine::Blocked is not
+// provided (there is no tuned baseline for it); all GEP engines work.
+void transitive_closure(Matrix<std::uint8_t>& reach, Engine engine,
+                        RunOptions opts = {});
+
+// Distance value treated as "no edge" by helpers/benches.
+inline constexpr double kInfDist = 1e30;
+
+}  // namespace gep::apps

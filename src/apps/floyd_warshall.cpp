@@ -1,0 +1,115 @@
+#include "apps/apps.hpp"
+
+#include <stdexcept>
+
+#include "blas/blas.hpp"
+#include "gep/cgep.hpp"
+#include "gep/functors.hpp"
+#include "gep/typed.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gep::apps {
+
+std::string engine_name(Engine e) {
+  switch (e) {
+    case Engine::Iterative: return "GEP(iterative)";
+    case Engine::IGep: return "I-GEP";
+    case Engine::IGepZ: return "I-GEP(z-layout)";
+    case Engine::CGep: return "C-GEP(4n^2)";
+    case Engine::CGepCompact: return "C-GEP(compact)";
+    case Engine::Blocked: return "blocked(cache-aware)";
+  }
+  return "?";
+}
+
+namespace {
+
+// The paper's GEP baseline: the Fig. 1 triple loop, written well
+// (hoisted c[i,k], unit-stride inner loop) but with no blocking.
+void fw_iterative(double* c, index_t n) {
+  for (index_t k = 0; k < n; ++k) {
+    const double* ck = c + k * n;
+    for (index_t i = 0; i < n; ++i) {
+      const double cik = c[i * n + k];
+      double* ci = c + i * n;
+      for (index_t j = 0; j < n; ++j) {
+        ci[j] = std::min(ci[j], cik + ck[j]);
+      }
+    }
+  }
+}
+
+// Pads to pow2 with +inf off-diagonal / 0 diagonal (isolated vertices),
+// runs fn on the padded matrix, unpads. No-op padding when n is pow2.
+template <class Fn>
+void with_fw_padding(Matrix<double>& d, Fn&& fn) {
+  const index_t n = d.rows();
+  if (is_pow2(n)) {
+    fn(d);
+    return;
+  }
+  Matrix<double> p = pad_to_pow2(d, kInfDist);
+  for (index_t i = n; i < p.rows(); ++i) p(i, i) = 0.0;
+  fn(p);
+  d = unpad(p, n, n);
+}
+
+}  // namespace
+
+void floyd_warshall(Matrix<double>& d, Engine engine, RunOptions opts) {
+  if (d.rows() != d.cols()) throw std::invalid_argument("fw: square only");
+  switch (engine) {
+    case Engine::Iterative:
+      fw_iterative(d.data(), d.rows());
+      return;
+    case Engine::Blocked:
+      blas::fw_tiled(d.rows(), d.data(), d.cols(), opts.base_size);
+      return;
+    case Engine::IGep:
+      with_fw_padding(d, [&](Matrix<double>& m) {
+        RowMajorStore<double> st{m.data(), m.rows(),
+                                 std::min(opts.base_size, m.rows())};
+        if (opts.threads > 1) {
+          ThreadPool pool(opts.threads);
+          ParInvoker inv{&pool};
+          igep_floyd_warshall(inv, st, m.rows(), {opts.base_size});
+        } else {
+          SeqInvoker inv;
+          igep_floyd_warshall(inv, st, m.rows(), {opts.base_size});
+        }
+      });
+      return;
+    case Engine::IGepZ:
+      with_fw_padding(d, [&](Matrix<double>& m) {
+        const index_t bs = std::min(opts.base_size, m.rows());
+        ZBlocked<double> z(m.rows(), bs);
+        z.load(m);  // conversion cost included, as in the paper
+        ZStore<double> st{&z};
+        if (opts.threads > 1) {
+          ThreadPool pool(opts.threads);
+          ParInvoker inv{&pool};
+          igep_floyd_warshall(inv, st, m.rows(), {bs});
+        } else {
+          SeqInvoker inv;
+          igep_floyd_warshall(inv, st, m.rows(), {bs});
+        }
+        z.store(m);
+      });
+      return;
+    case Engine::CGep:
+      with_fw_padding(d, [&](Matrix<double>& m) {
+        run_cgep(m, MinPlusF{}, FloydWarshallSet{m.rows()},
+                 {opts.base_size});
+      });
+      return;
+    case Engine::CGepCompact:
+      with_fw_padding(d, [&](Matrix<double>& m) {
+        run_cgep_compact(m, MinPlusF{}, FloydWarshallSet{m.rows()},
+                         {opts.base_size});
+      });
+      return;
+  }
+  throw std::invalid_argument("fw: unknown engine");
+}
+
+}  // namespace gep::apps

@@ -1,0 +1,196 @@
+#include "apps/gap_alignment.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gep::apps {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Range {
+  index_t lo, hi;  // closed
+  index_t size() const { return hi - lo + 1; }
+  Range left() const { return {lo, (lo + hi) / 2}; }
+  Range right() const { return {(lo + hi) / 2 + 1, hi}; }
+};
+
+class GapSolver {
+ public:
+  GapSolver(Matrix<double>& g, const GapSubstFn& s, const GapCostFn& wg,
+            index_t base)
+      : g_(g), s_(s), wg_(wg), base_(std::max<index_t>(base, 2)) {}
+
+  // Finalize every cell of R x C, assuming all contributions from
+  // sources outside R x C have been min-folded into the cells already.
+  void solve(Range R, Range C) {
+    if (R.size() <= base_ && C.size() <= base_) {
+      solve_base(R, C);
+      return;
+    }
+    if (R.size() < 2) {  // thin strip: split only the columns
+      Range C1 = C.left(), C2 = C.right();
+      solve(R, C1);
+      fold_row(R, C1, C2);
+      fold_diag_col_boundary(R, C2.lo);
+      solve(R, C2);
+      return;
+    }
+    if (C.size() < 2) {
+      Range R1 = R.left(), R2 = R.right();
+      solve(R1, C);
+      fold_col(C, R1, R2);
+      fold_diag_row_boundary(R2.lo, C);
+      solve(R2, C);
+      return;
+    }
+    Range R1 = R.left(), R2 = R.right();
+    Range C1 = C.left(), C2 = C.right();
+    // Q11 first; fold its contributions right and down; Q12 and Q21 are
+    // then independent; fold everything into Q22 and finish there.
+    solve(R1, C1);
+    fold_row(R1, C1, C2);
+    fold_diag_col_boundary(R1, C2.lo);
+    fold_col(C1, R1, R2);
+    fold_diag_row_boundary(R2.lo, C1);
+    solve(R1, C2);
+    solve(R2, C1);
+    fold_row(R2, C1, C2);
+    fold_col(C2, R1, R2);
+    fold_diag_row_boundary(R2.lo, C2);
+    fold_diag_col_boundary(R2, C2.lo);
+    solve(R2, C2);
+  }
+
+ private:
+  // Iterative base case in row-major order; in-region dependencies are
+  // final by the scan order, out-of-region ones by precondition.
+  void solve_base(Range R, Range C) {
+    for (index_t i = R.lo; i <= R.hi; ++i) {
+      for (index_t j = C.lo; j <= C.hi; ++j) {
+        if (i == 0 && j == 0) continue;  // G(0,0) = 0, fixed
+        double best = g_(i, j);          // externally folded partials
+        if (i > 0 && j > 0 && i - 1 >= R.lo && j - 1 >= C.lo) {
+          best = std::min(best, g_(i - 1, j - 1) + s_(i, j));
+        }
+        for (index_t q = C.lo; q < j; ++q) {
+          best = std::min(best, g_(i, q) + wg_(q, j));
+        }
+        for (index_t p = R.lo; p < i; ++p) {
+          best = std::min(best, g_(p, j) + wg_(p, i));
+        }
+        g_(i, j) = best;
+      }
+    }
+  }
+
+  // Row-gap fold: g[i][j] min= g[i][q] + wg(q, j) for i in R, q in A
+  // (final), j in B. Divide-and-conquer on the largest extent.
+  void fold_row(Range R, Range A, Range B) {
+    const index_t big = std::max({R.size(), A.size(), B.size()});
+    if (big <= base_) {
+      for (index_t q = A.lo; q <= A.hi; ++q) {
+        for (index_t i = R.lo; i <= R.hi; ++i) {
+          const double giq = g_(i, q);
+          for (index_t j = B.lo; j <= B.hi; ++j) {
+            g_(i, j) = std::min(g_(i, j), giq + wg_(q, j));
+          }
+        }
+      }
+      return;
+    }
+    if (R.size() == big) {
+      fold_row(R.left(), A, B);
+      fold_row(R.right(), A, B);
+    } else if (A.size() == big) {
+      fold_row(R, A.left(), B);
+      fold_row(R, A.right(), B);
+    } else {
+      fold_row(R, A, B.left());
+      fold_row(R, A, B.right());
+    }
+  }
+
+  // Column-gap fold: g[i][j] min= g[p][j] + wg(p, i) for j in C, p in A
+  // (final), i in B.
+  void fold_col(Range C, Range A, Range B) {
+    const index_t big = std::max({C.size(), A.size(), B.size()});
+    if (big <= base_) {
+      for (index_t p = A.lo; p <= A.hi; ++p) {
+        for (index_t i = B.lo; i <= B.hi; ++i) {
+          const double w = wg_(p, i);
+          for (index_t j = C.lo; j <= C.hi; ++j) {
+            g_(i, j) = std::min(g_(i, j), g_(p, j) + w);
+          }
+        }
+      }
+      return;
+    }
+    if (C.size() == big) {
+      fold_col(C.left(), A, B);
+      fold_col(C.right(), A, B);
+    } else if (A.size() == big) {
+      fold_col(C, A.left(), B);
+      fold_col(C, A.right(), B);
+    } else {
+      fold_col(C, A, B.left());
+      fold_col(C, A, B.right());
+    }
+  }
+
+  // Diagonal edges crossing a column boundary: dest (i, cfirst) for
+  // i in R with i-1 >= R-ish; sources (i-1, cfirst-1) are final.
+  void fold_diag_col_boundary(Range R, index_t cfirst) {
+    if (cfirst == 0) return;
+    for (index_t i = std::max<index_t>(R.lo, 1); i <= R.hi; ++i) {
+      if (i - 1 < R.lo) continue;  // source row outside: caller's duty
+      g_(i, cfirst) =
+          std::min(g_(i, cfirst), g_(i - 1, cfirst - 1) + s_(i, cfirst));
+    }
+  }
+
+  // Diagonal edges crossing a row boundary: dest (rfirst, j) for j in C.
+  void fold_diag_row_boundary(index_t rfirst, Range C) {
+    if (rfirst == 0) return;
+    for (index_t j = std::max<index_t>(C.lo, 1); j <= C.hi; ++j) {
+      g_(rfirst, j) =
+          std::min(g_(rfirst, j), g_(rfirst - 1, j - 1) + s_(rfirst, j));
+    }
+  }
+
+  Matrix<double>& g_;
+  const GapSubstFn& s_;
+  const GapCostFn& wg_;
+  index_t base_;
+};
+
+}  // namespace
+
+void gap_alignment_iterative(Matrix<double>& g, const GapSubstFn& s,
+                             const GapCostFn& wg) {
+  const index_t rows = g.rows(), cols = g.cols();
+  g(0, 0) = 0.0;
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) {
+      if (i == 0 && j == 0) continue;
+      double best = kInf;
+      if (i > 0 && j > 0) best = g(i - 1, j - 1) + s(i, j);
+      for (index_t q = 0; q < j; ++q) best = std::min(best, g(i, q) + wg(q, j));
+      for (index_t p = 0; p < i; ++p) best = std::min(best, g(p, j) + wg(p, i));
+      g(i, j) = best;
+    }
+  }
+}
+
+void gap_alignment_recursive(Matrix<double>& g, const GapSubstFn& s,
+                             const GapCostFn& wg, GapOptions opts) {
+  const index_t rows = g.rows(), cols = g.cols();
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) g(i, j) = kInf;
+  }
+  g(0, 0) = 0.0;
+  GapSolver solver(g, s, wg, opts.base_size);
+  solver.solve({0, rows - 1}, {0, cols - 1});
+}
+
+}  // namespace gep::apps

@@ -1,0 +1,42 @@
+// Sequence alignment with an arbitrary gap function (the GAP problem) —
+// the non-GEP application the paper's framework was adapted to in [6].
+//
+//   G(0,0) = 0
+//   G(i,j) = min(  G(i-1, j-1) + s(i, j),                 (substitution)
+//                  min_{0 <= q < j} G(i, q) + wg(q, j),   (gap in x)
+//                  min_{0 <= p < i} G(p, j) + wg(p, i) )  (gap in y)
+//
+// for arbitrary substitution s and gap-cost wg — the classic O(n³)
+// Waterman DP. The cache-oblivious solver below uses the same
+// quadrant-decomposition idea as I-GEP: solve the top-left quadrant,
+// min-fold its row/column/diagonal contributions into the neighbouring
+// quadrants with rectangular min-plus products, recurse. It runs in
+// O(n³) time and O(n³/(B√M)) cache misses, and reproduces the iterative
+// DP exactly (same min sets, associativity-free).
+#pragma once
+
+#include <functional>
+
+#include "matrix/matrix.hpp"
+
+namespace gep::apps {
+
+// Substitution cost for aligning x[i-1] with y[j-1] (1-based cells).
+using GapSubstFn = std::function<double(index_t, index_t)>;
+// Gap cost of extending from position q to position j (q < j).
+using GapCostFn = std::function<double(index_t, index_t)>;
+
+struct GapOptions {
+  index_t base_size = 32;
+};
+
+// Iterative reference: fills g (sized (m+1) x (n+1)) in row-major order.
+// g(0,0) is forced to 0; every other cell is computed.
+void gap_alignment_iterative(Matrix<double>& g, const GapSubstFn& s,
+                             const GapCostFn& wg);
+
+// Cache-oblivious divide-and-conquer solver; same contract.
+void gap_alignment_recursive(Matrix<double>& g, const GapSubstFn& s,
+                             const GapCostFn& wg, GapOptions opts = {});
+
+}  // namespace gep::apps

@@ -1,0 +1,166 @@
+#include "apps/apps.hpp"
+
+#include <stdexcept>
+
+#include "blas/blas.hpp"
+#include "gep/cgep.hpp"
+#include "gep/functors.hpp"
+#include "gep/typed.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gep::apps {
+namespace {
+
+// Optimized iterative GEP baselines: division hoisted out of the inner
+// loop (the paper's o(n³)-divisions optimization), unit-stride sweeps.
+void ge_iterative(double* c, index_t n) {
+  for (index_t k = 0; k < n; ++k) {
+    const double wkk = c[k * n + k];
+    const double* ck = c + k * n;
+    for (index_t i = k + 1; i < n; ++i) {
+      const double t = c[i * n + k] / wkk;
+      double* ci = c + i * n;
+      for (index_t j = k + 1; j < n; ++j) ci[j] -= t * ck[j];
+    }
+  }
+}
+
+void lu_iterative(double* c, index_t n) {
+  for (index_t k = 0; k < n; ++k) {
+    const double wkk = c[k * n + k];
+    const double* ck = c + k * n;
+    for (index_t i = k + 1; i < n; ++i) {
+      c[i * n + k] /= wkk;
+      const double lik = c[i * n + k];
+      double* ci = c + i * n;
+      for (index_t j = k + 1; j < n; ++j) ci[j] -= lik * ck[j];
+    }
+  }
+}
+
+// Identity padding keeps elimination on the padded block inert: padded
+// pivots are 1 and padded off-diagonal entries 0, so no padded update
+// changes an original entry.
+template <class Fn>
+void with_identity_padding(Matrix<double>& a, Fn&& fn) {
+  const index_t n = a.rows();
+  if (is_pow2(n)) {
+    fn(a);
+    return;
+  }
+  Matrix<double> p = pad_to_pow2(a, 0.0);
+  for (index_t i = n; i < p.rows(); ++i) p(i, i) = 1.0;
+  fn(p);
+  a = unpad(p, n, n);
+}
+
+template <class TypedRun>
+void run_typed(Matrix<double>& m, const RunOptions& opts, TypedRun&& run) {
+  RowMajorStore<double> st{m.data(), m.rows(),
+                           std::min(opts.base_size, m.rows())};
+  if (opts.threads > 1) {
+    ThreadPool pool(opts.threads);
+    ParInvoker inv{&pool};
+    run(inv, st);
+  } else {
+    SeqInvoker inv;
+    run(inv, st);
+  }
+}
+
+}  // namespace
+
+void gaussian_eliminate(Matrix<double>& a, Engine engine, RunOptions opts) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("ge: square only");
+  switch (engine) {
+    case Engine::Iterative:
+      ge_iterative(a.data(), a.rows());
+      return;
+    case Engine::Blocked: {
+      // The blocked baseline factors via LU; reproduce GE's output
+      // convention is unnecessary for benching, but tests compare only
+      // the upper triangle, which LU and GE share.
+      blas::lu_nopivot(a.rows(), a.data(), a.cols());
+      return;
+    }
+    case Engine::IGep:
+      with_identity_padding(a, [&](Matrix<double>& m) {
+        run_typed(m, opts, [&](auto& inv, auto& st) {
+          igep_gaussian(inv, st, m.rows(), {opts.base_size});
+        });
+      });
+      return;
+    case Engine::IGepZ:
+      with_identity_padding(a, [&](Matrix<double>& m) {
+        const index_t bs = std::min(opts.base_size, m.rows());
+        ZBlocked<double> z(m.rows(), bs);
+        z.load(m);
+        ZStore<double> st{&z};
+        if (opts.threads > 1) {
+          ThreadPool pool(opts.threads);
+          ParInvoker inv{&pool};
+          igep_gaussian(inv, st, m.rows(), {bs});
+        } else {
+          SeqInvoker inv;
+          igep_gaussian(inv, st, m.rows(), {bs});
+        }
+        z.store(m);
+      });
+      return;
+    case Engine::CGep:
+      with_identity_padding(a, [&](Matrix<double>& m) {
+        run_cgep(m, GaussF{}, GaussianSet{m.rows()}, {opts.base_size});
+      });
+      return;
+    case Engine::CGepCompact:
+      with_identity_padding(a, [&](Matrix<double>& m) {
+        run_cgep_compact(m, GaussF{}, GaussianSet{m.rows()},
+                         {opts.base_size});
+      });
+      return;
+  }
+  throw std::invalid_argument("ge: unknown engine");
+}
+
+void lu_decompose(Matrix<double>& a, Engine engine, RunOptions opts) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("lu: square only");
+  switch (engine) {
+    case Engine::Iterative:
+      lu_iterative(a.data(), a.rows());
+      return;
+    case Engine::Blocked:
+      blas::lu_nopivot(a.rows(), a.data(), a.cols());
+      return;
+    case Engine::IGep:
+      with_identity_padding(a, [&](Matrix<double>& m) {
+        run_typed(m, opts, [&](auto& inv, auto& st) {
+          igep_lu(inv, st, m.rows(), {opts.base_size});
+        });
+      });
+      return;
+    case Engine::IGepZ:
+      with_identity_padding(a, [&](Matrix<double>& m) {
+        const index_t bs = std::min(opts.base_size, m.rows());
+        ZBlocked<double> z(m.rows(), bs);
+        z.load(m);
+        ZStore<double> st{&z};
+        SeqInvoker inv;
+        igep_lu(inv, st, m.rows(), {bs});
+        z.store(m);
+      });
+      return;
+    case Engine::CGep:
+      with_identity_padding(a, [&](Matrix<double>& m) {
+        run_cgep(m, LUIndexedF{}, LUSet{m.rows()}, {opts.base_size});
+      });
+      return;
+    case Engine::CGepCompact:
+      with_identity_padding(a, [&](Matrix<double>& m) {
+        run_cgep_compact(m, LUIndexedF{}, LUSet{m.rows()}, {opts.base_size});
+      });
+      return;
+  }
+  throw std::invalid_argument("lu: unknown engine");
+}
+
+}  // namespace gep::apps

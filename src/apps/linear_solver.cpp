@@ -1,0 +1,92 @@
+#include "apps/linear_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gep::apps {
+
+void forward_substitute(const Matrix<double>& lu, std::vector<double>& x) {
+  const index_t n = lu.rows();
+  for (index_t i = 0; i < n; ++i) {
+    double acc = x[static_cast<std::size_t>(i)];
+    for (index_t k = 0; k < i; ++k) {
+      acc -= lu(i, k) * x[static_cast<std::size_t>(k)];
+    }
+    x[static_cast<std::size_t>(i)] = acc;  // L has unit diagonal
+  }
+}
+
+void backward_substitute(const Matrix<double>& lu, std::vector<double>& x) {
+  const index_t n = lu.rows();
+  for (index_t i = n - 1; i >= 0; --i) {
+    double acc = x[static_cast<std::size_t>(i)];
+    for (index_t k = i + 1; k < n; ++k) {
+      acc -= lu(i, k) * x[static_cast<std::size_t>(k)];
+    }
+    x[static_cast<std::size_t>(i)] = acc / lu(i, i);
+  }
+}
+
+std::vector<double> solve(Matrix<double> a, const std::vector<double>& b,
+                          Engine engine, RunOptions opts) {
+  const index_t n = a.rows();
+  if (a.cols() != n || b.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("solve: dimension mismatch");
+  }
+  lu_decompose(a, engine, opts);
+  std::vector<double> x = b;
+  forward_substitute(a, x);
+  backward_substitute(a, x);
+  return x;
+}
+
+Matrix<double> solve(Matrix<double> a, const Matrix<double>& b, Engine engine,
+                     RunOptions opts) {
+  const index_t n = a.rows();
+  if (a.cols() != n || b.rows() != n) {
+    throw std::invalid_argument("solve: dimension mismatch");
+  }
+  lu_decompose(a, engine, opts);
+  Matrix<double> x = b;
+  // Column-wise triangular solves against the shared factor.
+  std::vector<double> col(static_cast<std::size_t>(n));
+  for (index_t c = 0; c < b.cols(); ++c) {
+    for (index_t i = 0; i < n; ++i) col[static_cast<std::size_t>(i)] = x(i, c);
+    forward_substitute(a, col);
+    backward_substitute(a, col);
+    for (index_t i = 0; i < n; ++i) x(i, c) = col[static_cast<std::size_t>(i)];
+  }
+  return x;
+}
+
+double determinant(Matrix<double> a, Engine engine, RunOptions opts) {
+  if (a.cols() != a.rows()) throw std::invalid_argument("det: square only");
+  lu_decompose(a, engine, opts);
+  double det = 1.0;
+  for (index_t i = 0; i < a.rows(); ++i) det *= a(i, i);
+  return det;
+}
+
+Matrix<double> invert(Matrix<double> a, Engine engine, RunOptions opts) {
+  const index_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument("invert: square only");
+  Matrix<double> eye(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return solve(std::move(a), eye, engine, opts);
+}
+
+double residual_inf(const Matrix<double>& a, const std::vector<double>& x,
+                    const std::vector<double>& b) {
+  const index_t n = a.rows();
+  double worst = 0;
+  for (index_t i = 0; i < n; ++i) {
+    double r = -b[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < a.cols(); ++j) {
+      r += a(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    worst = std::max(worst, std::abs(r));
+  }
+  return worst;
+}
+
+}  // namespace gep::apps

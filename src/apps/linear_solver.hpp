@@ -1,0 +1,45 @@
+// Dense linear-system solving on top of cache-oblivious LU.
+//
+// The paper's Gaussian-elimination-without-pivoting instance is the
+// factorization kernel of a direct solver; this module supplies the
+// surrounding pieces — triangular solves, multi-RHS solves, determinant
+// — so the library is usable as a solver, not just a factorization.
+// No pivoting is performed (the paper's setting): the caller must supply
+// a matrix whose leading principal minors are nonsingular (e.g. strictly
+// diagonally dominant or SPD), as is standard for GEP.
+#pragma once
+
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "matrix/matrix.hpp"
+
+namespace gep::apps {
+
+// Solves A x = b. A is factored in place as L U (unit-diagonal L).
+// Returns x. Engine selects the LU implementation.
+std::vector<double> solve(Matrix<double> a, const std::vector<double>& b,
+                          Engine engine = Engine::IGep, RunOptions opts = {});
+
+// Multi-RHS variant: solves A X = B column-wise; B is n x r.
+Matrix<double> solve(Matrix<double> a, const Matrix<double>& b,
+                     Engine engine = Engine::IGep, RunOptions opts = {});
+
+// In-place triangular solves against a packed LU factor.
+void forward_substitute(const Matrix<double>& lu, std::vector<double>& x);
+void backward_substitute(const Matrix<double>& lu, std::vector<double>& x);
+
+// Determinant via the product of U's diagonal (LU without pivoting has
+// a unit-diagonal L, so det A = prod diag(U)).
+double determinant(Matrix<double> a, Engine engine = Engine::IGep,
+                   RunOptions opts = {});
+
+// Matrix inverse via LU + multi-RHS solve against the identity.
+Matrix<double> invert(Matrix<double> a, Engine engine = Engine::IGep,
+                      RunOptions opts = {});
+
+// Max-norm residual ||A x - b||_inf (verification helper).
+double residual_inf(const Matrix<double>& a, const std::vector<double>& x,
+                    const std::vector<double>& b);
+
+}  // namespace gep::apps

@@ -1,0 +1,97 @@
+#include "apps/apps.hpp"
+
+#include <stdexcept>
+
+#include "blas/blas.hpp"
+#include "gep/typed.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gep::apps {
+namespace {
+
+// The GEP-style iterative baseline: k-outer triple loop with hoisting.
+void mm_iterative(double* c, const double* a, const double* b, index_t n) {
+  for (index_t k = 0; k < n; ++k) {
+    const double* bk = b + k * n;
+    for (index_t i = 0; i < n; ++i) {
+      const double aik = a[i * n + k];
+      double* ci = c + i * n;
+      for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+}  // namespace
+
+void multiply_add(Matrix<double>& c, const Matrix<double>& a,
+                  const Matrix<double>& b, Engine engine, RunOptions opts) {
+  const index_t n = c.rows();
+  if (a.rows() != n || a.cols() != n || b.rows() != n || b.cols() != n ||
+      c.cols() != n) {
+    throw std::invalid_argument("multiply_add: all matrices must be n x n");
+  }
+  switch (engine) {
+    case Engine::Iterative:
+      mm_iterative(c.data(), a.data(), b.data(), n);
+      return;
+    case Engine::Blocked:
+      blas::dgemm(n, n, n, 1.0, a.data(), n, b.data(), n, c.data(), n);
+      return;
+    case Engine::IGep: {
+      if (!is_pow2(n)) {  // zero padding is neutral for +=a*b
+        Matrix<double> cp = pad_to_pow2(c, 0.0);
+        Matrix<double> ap = pad_to_pow2(a, 0.0);
+        Matrix<double> bp = pad_to_pow2(b, 0.0);
+        multiply_add(cp, ap, bp, engine, opts);
+        c = unpad(cp, n, n);
+        return;
+      }
+      const index_t bs = std::min(opts.base_size, n);
+      RowMajorStore<double> cst{c.data(), n, bs};
+      RowMajorStore<const double> ast{a.data(), n, bs};
+      RowMajorStore<const double> bst{b.data(), n, bs};
+      if (opts.threads > 1) {
+        ThreadPool pool(opts.threads);
+        ParInvoker inv{&pool};
+        igep_matmul(inv, cst, ast, bst, n, {bs});
+      } else {
+        SeqInvoker inv;
+        igep_matmul(inv, cst, ast, bst, n, {bs});
+      }
+      return;
+    }
+    case Engine::IGepZ: {
+      if (!is_pow2(n)) {
+        Matrix<double> cp = pad_to_pow2(c, 0.0);
+        Matrix<double> ap = pad_to_pow2(a, 0.0);
+        Matrix<double> bp = pad_to_pow2(b, 0.0);
+        multiply_add(cp, ap, bp, engine, opts);
+        c = unpad(cp, n, n);
+        return;
+      }
+      const index_t bs = std::min(opts.base_size, n);
+      ZBlocked<double> cz(n, bs), az(n, bs), bz(n, bs);
+      cz.load(c);
+      az.load(a);
+      bz.load(b);
+      ZStore<double> cst{&cz}, ast{&az}, bst{&bz};
+      if (opts.threads > 1) {
+        ThreadPool pool(opts.threads);
+        ParInvoker inv{&pool};
+        igep_matmul(inv, cst, ast, bst, n, {bs});
+      } else {
+        SeqInvoker inv;
+        igep_matmul(inv, cst, ast, bst, n, {bs});
+      }
+      cz.store(c);
+      return;
+    }
+    case Engine::CGep:
+    case Engine::CGepCompact:
+      throw std::invalid_argument(
+          "multiply_add: C-GEP applies to the in-place GEP form; use IGep");
+  }
+  throw std::invalid_argument("multiply_add: unknown engine");
+}
+
+}  // namespace gep::apps

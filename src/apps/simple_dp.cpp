@@ -1,0 +1,152 @@
+#include "apps/simple_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gep::apps {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Interval {
+  index_t lo, hi;  // closed vertex range
+  index_t size() const { return hi - lo + 1; }
+  Interval left() const { return {lo, (lo + hi) / 2}; }
+  Interval right() const { return {(lo + hi) / 2 + 1, hi}; }
+};
+
+class Solver {
+ public:
+  Solver(Matrix<double>& d, const DpWeightFn& w, index_t base)
+      : d_(d), w_(w), base_(std::max<index_t>(base, 2)) {}
+
+  // Triangle: finalize all cells lo <= i < j <= hi.
+  void triangle(index_t lo, index_t hi) {
+    if (hi - lo < 2) return;  // only leaf cells
+    if (hi - lo + 1 <= base_) {
+      for (index_t len = 2; len <= hi - lo; ++len) {
+        for (index_t i = lo; i + len <= hi; ++i) {
+          const index_t j = i + len;
+          double best = d_(i, j);  // folded external contributions (none here)
+          for (index_t k = i + 1; k < j; ++k) {
+            best = std::min(best, d_(i, k) + d_(k, j));
+          }
+          d_(i, j) = w_(i, j) + best;
+        }
+      }
+      return;
+    }
+    const index_t mid = (lo + hi) / 2;
+    triangle(lo, mid);
+    triangle(mid, hi);
+    // Cells (i, j) with i < mid < j remain. Fold the single-vertex gap
+    // {mid} (a rank-1 min-plus update), then finalize the rectangle.
+    if (lo <= mid - 1 && mid + 1 <= hi) {
+      Interval I{lo, mid - 1}, J{mid + 1, hi};
+      for (index_t i = I.lo; i <= I.hi; ++i) {
+        const double dim = d_(i, mid);
+        for (index_t j = J.lo; j <= J.hi; ++j) {
+          d_(i, j) = std::min(d_(i, j), dim + d_(mid, j));
+        }
+      }
+      rect(I, J);
+    }
+  }
+
+ private:
+  // Rectangle: finalize cells I x J (I entirely left of J), given that
+  // the I and J triangles are final and every contribution with k
+  // outside I ∪ J has already been min-folded into d(i, j).
+  void rect(Interval I, Interval J) {
+    if (I.size() < 2 || J.size() < 2 ||
+        (I.size() <= base_ && J.size() <= base_)) {
+      // i descending / j ascending makes every in-rectangle dependency
+      // (d[k][j] with k > i, d[i][k] with k < j) already final.
+      for (index_t i = I.hi; i >= I.lo; --i) {
+        for (index_t j = J.lo; j <= J.hi; ++j) {
+          double best = d_(i, j);
+          for (index_t k = i + 1; k <= I.hi; ++k) {
+            best = std::min(best, d_(i, k) + d_(k, j));
+          }
+          for (index_t k = J.lo; k < j; ++k) {
+            best = std::min(best, d_(i, k) + d_(k, j));
+          }
+          d_(i, j) = w_(i, j) + best;
+        }
+      }
+      return;
+    }
+    Interval I1 = I.left(), I2 = I.right();
+    Interval J1 = J.left(), J2 = J.right();
+    rect(I2, J1);
+    product(I1, J1, I2);  // k in I2 reaches (i,j) in I1 x J1
+    product(I2, J2, J1);  // k in J1 reaches (i,j) in I2 x J2
+    rect(I1, J1);
+    rect(I2, J2);
+    product(I1, J2, I2);
+    product(I1, J2, J1);
+    rect(I1, J2);
+  }
+
+  // Min-plus product fold: d[I x J] = min(d[I x J], d[I x K] + d[K x J]),
+  // all operand cells final. Divide-and-conquer on the largest dimension
+  // keeps it cache-oblivious.
+  void product(Interval I, Interval J, Interval K) {
+    const index_t big = std::max({I.size(), J.size(), K.size()});
+    if (big <= base_) {
+      for (index_t k = K.lo; k <= K.hi; ++k) {
+        for (index_t i = I.lo; i <= I.hi; ++i) {
+          const double dik = d_(i, k);
+          for (index_t j = J.lo; j <= J.hi; ++j) {
+            d_(i, j) = std::min(d_(i, j), dik + d_(k, j));
+          }
+        }
+      }
+      return;
+    }
+    if (I.size() == big) {
+      product(I.left(), J, K);
+      product(I.right(), J, K);
+    } else if (J.size() == big) {
+      product(I, J.left(), K);
+      product(I, J.right(), K);
+    } else {
+      product(I, J, K.left());
+      product(I, J, K.right());
+    }
+  }
+
+  Matrix<double>& d_;
+  const DpWeightFn& w_;
+  index_t base_;
+};
+
+}  // namespace
+
+void simple_dp_iterative(Matrix<double>& d, const DpWeightFn& w) {
+  const index_t n = d.rows();
+  for (index_t len = 2; len < n; ++len) {
+    for (index_t i = 0; i + len < n; ++i) {
+      const index_t j = i + len;
+      double best = kInf;
+      for (index_t k = i + 1; k < j; ++k) {
+        best = std::min(best, d(i, k) + d(k, j));
+      }
+      d(i, j) = w(i, j) + best;
+    }
+  }
+}
+
+void simple_dp_recursive(Matrix<double>& d, const DpWeightFn& w,
+                         SimpleDpOptions opts) {
+  const index_t n = d.rows();
+  // Non-leaf cells start at +inf so partial min-folds compose.
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i + 2; j < n; ++j) d(i, j) = kInf;
+  }
+  if (n < 3) return;
+  Solver s(d, w, opts.base_size);
+  s.triangle(0, n - 1);
+}
+
+}  // namespace gep::apps

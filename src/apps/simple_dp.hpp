@@ -1,0 +1,34 @@
+// Simple-DP (Cherng-Ladner [5]) — the parenthesis-problem family
+//
+//   D[i][j] = w(i,j) + min_{i<k<j} ( D[i][k] + D[k][j] ),   j > i+1,
+//
+// with given D[i][i+1] leaf values (polygon triangulation, matrix-chain
+// style problems). The paper notes I-GEP's framework extends to this
+// class through structural transformation; we provide both the iterative
+// O(n³) reference and the cache-oblivious divide-and-conquer solver
+// (triangle/rectangle/product recursion) with O(n³/(B√M)) cache misses.
+#pragma once
+
+#include <functional>
+
+#include "matrix/matrix.hpp"
+
+namespace gep::apps {
+
+// Weight callback w(i, j); must be cheap and pure.
+using DpWeightFn = std::function<double(index_t, index_t)>;
+
+struct SimpleDpOptions {
+  index_t base_size = 32;
+};
+
+// Iterative reference: fills the upper triangle in diagonal order.
+// d must be n x n with leaves d(i, i+1) set; other cells are ignored on
+// input. On return d(i,j) holds the DP value for all j > i.
+void simple_dp_iterative(Matrix<double>& d, const DpWeightFn& w);
+
+// Cache-oblivious solver; same contract as the iterative version.
+void simple_dp_recursive(Matrix<double>& d, const DpWeightFn& w,
+                         SimpleDpOptions opts = {});
+
+}  // namespace gep::apps

@@ -1,0 +1,63 @@
+#include "blas/blas.hpp"
+
+#include <algorithm>
+
+namespace gep::blas {
+namespace {
+
+// min-plus "GEMM" tile kernel: x[i][j] = min(x[i][j], u[i][k] + v[k][j])
+// over an mx x nx tile with depth kx. k-outer with hoisted u[i][k] keeps
+// the inner loop a unit-stride vector min.
+void fw_tile(double* x, const double* u, const double* v, index_t mx,
+             index_t nx, index_t kx, index_t ld) {
+  for (index_t k = 0; k < kx; ++k) {
+    const double* vk = v + k * ld;
+    for (index_t i = 0; i < mx; ++i) {
+      const double uik = u[i * ld + k];
+      double* xi = x + i * ld;
+      for (index_t j = 0; j < nx; ++j) {
+        xi[j] = std::min(xi[j], uik + vk[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// Cache-aware blocked Floyd-Warshall: for each diagonal tile K, first
+// close the K tile, then relax the K row and K column of tiles, then
+// relax every remaining tile through K. Equivalent to FW because all
+// intermediate vertices within the K range are applied transitively.
+void fw_tiled(index_t n, double* d, index_t ld, index_t tile) {
+  const index_t ts = std::min(tile, n);
+  for (index_t k0 = 0; k0 < n; k0 += ts) {
+    const index_t kb = std::min(ts, n - k0);
+    double* dkk = d + k0 * ld + k0;
+    // Phase 1: diagonal tile (dependent, run to fixpoint over its range).
+    fw_tile(dkk, dkk, dkk, kb, kb, kb, ld);
+    // Phase 2: row and column of tiles through the diagonal tile.
+    for (index_t j0 = 0; j0 < n; j0 += ts) {
+      if (j0 == k0) continue;
+      const index_t jb = std::min(ts, n - j0);
+      fw_tile(d + k0 * ld + j0, dkk, d + k0 * ld + j0, kb, jb, kb, ld);
+    }
+    for (index_t i0 = 0; i0 < n; i0 += ts) {
+      if (i0 == k0) continue;
+      const index_t ib = std::min(ts, n - i0);
+      fw_tile(d + i0 * ld + k0, d + i0 * ld + k0, dkk, ib, kb, kb, ld);
+    }
+    // Phase 3: all independent tiles.
+    for (index_t i0 = 0; i0 < n; i0 += ts) {
+      if (i0 == k0) continue;
+      const index_t ib = std::min(ts, n - i0);
+      for (index_t j0 = 0; j0 < n; j0 += ts) {
+        if (j0 == k0) continue;
+        const index_t jb = std::min(ts, n - j0);
+        fw_tile(d + i0 * ld + j0, d + i0 * ld + k0, d + k0 * ld + j0, ib, jb,
+                kb, ld);
+      }
+    }
+  }
+}
+
+}  // namespace gep::blas

@@ -1,0 +1,56 @@
+#include "blas/blas.hpp"
+
+#include <algorithm>
+
+namespace gep::blas {
+namespace {
+
+constexpr index_t NB = 64;  // panel width
+
+// Unblocked right-looking LU without pivoting on an m x nb panel whose
+// top nb x nb block is the diagonal block (getf2, no pivoting).
+void lu_panel(index_t m, index_t nb, double* a, index_t lda) {
+  for (index_t k = 0; k < nb; ++k) {
+    const double pivot = a[k * lda + k];
+    for (index_t i = k + 1; i < m; ++i) {
+      a[i * lda + k] /= pivot;
+      const double lik = a[i * lda + k];
+      for (index_t j = k + 1; j < nb; ++j) {
+        a[i * lda + j] -= lik * a[k * lda + j];
+      }
+    }
+  }
+}
+
+// Solves L * X = B in place (L unit lower triangular nb x nb, B nb x n).
+void trsm_lower_unit(index_t nb, index_t n, const double* l, index_t ldl,
+                     double* b, index_t ldb) {
+  for (index_t k = 0; k < nb; ++k) {
+    for (index_t i = k + 1; i < nb; ++i) {
+      const double lik = l[i * ldl + k];
+      for (index_t j = 0; j < n; ++j) {
+        b[i * ldb + j] -= lik * b[k * ldb + j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void lu_nopivot(index_t n, double* a, index_t lda) {
+  for (index_t k = 0; k < n; k += NB) {
+    const index_t nb = std::min(NB, n - k);
+    double* akk = a + k * lda + k;
+    // Factor the current column panel A[k:n, k:k+nb].
+    lu_panel(n - k, nb, akk, lda);
+    const index_t rest = n - k - nb;
+    if (rest <= 0) continue;
+    // U block row: solve L11 * U12 = A12.
+    trsm_lower_unit(nb, rest, akk, lda, akk + nb, lda);
+    // Trailing update: A22 -= L21 * U12 (the dgemm bulk of the work).
+    dgemm(rest, rest, nb, -1.0, akk + nb * lda, lda, akk + nb, lda,
+          akk + nb * lda + nb, lda);
+  }
+}
+
+}  // namespace gep::blas

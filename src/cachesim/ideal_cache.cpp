@@ -1,0 +1,44 @@
+#include "cachesim/ideal_cache.hpp"
+
+#include <cassert>
+
+namespace gep {
+
+IdealCache::IdealCache(std::uint64_t capacity_bytes, std::uint64_t block_bytes)
+    : capacity_blocks_(capacity_bytes / block_bytes),
+      block_bytes_(block_bytes) {
+  assert(block_bytes > 0 && capacity_blocks_ > 0);
+  where_.reserve(static_cast<std::size_t>(capacity_blocks_) * 2);
+}
+
+void IdealCache::access(std::uintptr_t addr, bool write) {
+  ++stats_.accesses;
+  const std::uint64_t block = static_cast<std::uint64_t>(addr) / block_bytes_;
+  auto it = where_.find(block);
+  if (it != where_.end()) {
+    // Hit: move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (write) it->second->dirty = true;
+    return;
+  }
+  ++stats_.misses;
+  if (lru_.size() >= capacity_blocks_) {
+    Line victim = lru_.back();
+    lru_.pop_back();
+    where_.erase(victim.block);
+    ++stats_.evictions;
+    if (victim.dirty) ++stats_.dirty_writebacks;
+  }
+  lru_.push_front(Line{block, write});
+  where_[block] = lru_.begin();
+}
+
+void IdealCache::flush() {
+  for (const Line& l : lru_) {
+    if (l.dirty) ++stats_.dirty_writebacks;
+  }
+  lru_.clear();
+  where_.clear();
+}
+
+}  // namespace gep

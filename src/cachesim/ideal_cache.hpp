@@ -1,0 +1,88 @@
+// Ideal-cache model simulator (Frigo et al. [11], as used by the paper).
+//
+// A single fully-associative cache of M bytes with B-byte blocks. The
+// model prescribes an optimal offline replacement policy; like all
+// practical simulators (and like the paper's Cachegrind measurements) we
+// use LRU, which is within a constant factor of optimal for any
+// algorithm under the standard resource-augmentation argument.
+//
+// The cache-complexity claims under test:
+//   GEP    incurs Θ(n³ / B)        misses,
+//   I-GEP  incurs Θ(n³ / (B√M))    misses (tall cache, M = Ω(B²)).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "matrix/matrix.hpp"
+
+namespace gep {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_writebacks = 0;
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+  // Block transfers between cache and memory (the paper's "I/Os").
+  std::uint64_t io() const { return misses + dirty_writebacks; }
+};
+
+class IdealCache {
+ public:
+  // capacity_bytes = M, block_bytes = B (both > 0; M >= B).
+  IdealCache(std::uint64_t capacity_bytes, std::uint64_t block_bytes);
+
+  void access(std::uintptr_t addr, bool write);
+  void flush();  // write back and drop everything
+
+  const CacheStats& stats() const { return stats_; }
+  std::uint64_t capacity_blocks() const { return capacity_blocks_; }
+  std::uint64_t block_bytes() const { return block_bytes_; }
+
+ private:
+  struct Line {
+    std::uint64_t block;
+    bool dirty;
+  };
+  std::uint64_t capacity_blocks_;
+  std::uint64_t block_bytes_;
+  std::list<Line> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Line>::iterator> where_;
+  CacheStats stats_;
+};
+
+// Trace-feeding accessor: wraps a matrix, forwards every element load and
+// store to a simulator before touching memory. Satisfies the generic
+// engines' Accessor concept, so G / I-GEP / C-GEP run unmodified under
+// simulation.
+template <class T, class Sim>
+class TracedAccess {
+ public:
+  using value_type = T;
+
+  TracedAccess(T* data, index_t n, Sim* sim) : data_(data), n_(n), sim_(sim) {}
+
+  index_t n() const { return n_; }
+  T get(index_t i, index_t j) const {
+    sim_->access(reinterpret_cast<std::uintptr_t>(data_ + i * n_ + j), false);
+    return data_[i * n_ + j];
+  }
+  void set(index_t i, index_t j, T v) {
+    sim_->access(reinterpret_cast<std::uintptr_t>(data_ + i * n_ + j), true);
+    data_[i * n_ + j] = v;
+  }
+
+ private:
+  T* data_;
+  index_t n_;
+  Sim* sim_;
+};
+
+}  // namespace gep

@@ -1,0 +1,72 @@
+#include "cachesim/set_assoc_cache.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace gep {
+
+std::string CacheGeometry::describe() const {
+  std::ostringstream out;
+  out << (size_bytes >> 10) << "KB/"
+      << (ways == 0 ? std::string("full") : std::to_string(ways) + "-way")
+      << "/B=" << line_bytes;
+  return out.str();
+}
+
+CacheGeometry xeon_l1() { return {8 * 1024, 64, 4}; }
+CacheGeometry xeon_l2() { return {512 * 1024, 64, 8}; }
+CacheGeometry opteron_l1() { return {64 * 1024, 64, 2}; }
+CacheGeometry opteron_l2() { return {1024 * 1024, 64, 8}; }
+
+SetAssocCache::SetAssocCache(CacheGeometry geom) : geom_(geom) {
+  assert(geom_.size_bytes >= geom_.line_bytes);
+  const std::uint64_t lines = geom_.size_bytes / geom_.line_bytes;
+  if (geom_.ways == 0 || static_cast<std::uint64_t>(geom_.ways) > lines) {
+    geom_.ways = static_cast<int>(lines);  // fully associative
+  }
+  sets_ = lines / static_cast<std::uint64_t>(geom_.ways);
+  assert(sets_ > 0);
+  ways_.assign(sets_ * static_cast<std::uint64_t>(geom_.ways), Way{});
+}
+
+bool SetAssocCache::access(std::uintptr_t addr, bool write) {
+  ++stats_.accesses;
+  const std::uint64_t line = static_cast<std::uint64_t>(addr) / geom_.line_bytes;
+  const std::uint64_t set = line % sets_;
+  const std::uint64_t tag = line / sets_;
+  Way* base = &ways_[set * static_cast<std::uint64_t>(geom_.ways)];
+  ++counter_;
+  Way* lru = base;
+  for (int w = 0; w < geom_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = counter_;
+      way.dirty = way.dirty || write;
+      return true;
+    }
+    if (!way.valid) {
+      lru = &way;  // prefer an empty slot
+    } else if (lru->valid && way.lru < lru->lru) {
+      lru = &way;
+    }
+  }
+  ++stats_.misses;
+  if (lru->valid) {
+    ++stats_.evictions;
+    if (lru->dirty) ++stats_.dirty_writebacks;
+  }
+  lru->valid = true;
+  lru->tag = tag;
+  lru->lru = counter_;
+  lru->dirty = write;
+  return false;
+}
+
+void SetAssocCache::flush() {
+  for (Way& w : ways_) {
+    if (w.valid && w.dirty) ++stats_.dirty_writebacks;
+    w = Way{};
+  }
+}
+
+}  // namespace gep

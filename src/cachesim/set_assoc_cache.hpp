@@ -1,0 +1,77 @@
+// Set-associative, multi-level cache simulator (Cachegrind substitute).
+//
+// The paper measures L1/L2 miss counts with Cachegrind on the machines of
+// Table 2 (e.g. Xeon: L1 8K/4-way/64B, L2 512K/8-way/64B). We simulate
+// the same geometry, driven by the instrumented matrix accessors, so the
+// relative miss behaviour of GEP / I-GEP / C-GEP / blocked baselines is
+// reproduced. Only matrix-element traffic is traced (no stack/code),
+// which lowers absolute counts uniformly across algorithms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cachesim/ideal_cache.hpp"
+
+namespace gep {
+
+struct CacheGeometry {
+  std::uint64_t size_bytes = 0;
+  std::uint64_t line_bytes = 64;
+  int ways = 8;  // 0 = fully associative
+
+  std::string describe() const;
+};
+
+// Geometries of the paper's Table 2 machines, for like-for-like runs.
+CacheGeometry xeon_l1();     // 8 KB, 4-way, 64 B
+CacheGeometry xeon_l2();     // 512 KB, 8-way, 64 B
+CacheGeometry opteron_l1();  // 64 KB, 2-way, 64 B
+CacheGeometry opteron_l2();  // 1 MB, 8-way, 64 B
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(CacheGeometry geom);
+
+  // Returns true on hit. Misses insert the line (allocate-on-write too).
+  bool access(std::uintptr_t addr, bool write);
+  void flush();
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheGeometry& geometry() const { return geom_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // global counter value at last touch
+    bool valid = false;
+    bool dirty = false;
+  };
+  CacheGeometry geom_;
+  std::uint64_t sets_;
+  std::uint64_t counter_ = 0;
+  std::vector<Way> ways_;  // sets_ x geom_.ways
+  CacheStats stats_;
+};
+
+// An inclusive-feel two-level hierarchy: every access goes to L1; L1
+// misses are forwarded to L2 (as Cachegrind models it).
+class CacheHierarchy {
+ public:
+  CacheHierarchy(CacheGeometry l1, CacheGeometry l2)
+      : l1_(l1), l2_(l2) {}
+
+  void access(std::uintptr_t addr, bool write) {
+    if (!l1_.access(addr, write)) l2_.access(addr, write);
+  }
+
+  const CacheStats& l1_stats() const { return l1_.stats(); }
+  const CacheStats& l2_stats() const { return l2_.stats(); }
+
+ private:
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+};
+
+}  // namespace gep

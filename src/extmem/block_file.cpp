@@ -1,0 +1,59 @@
+#include "extmem/block_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace gep {
+
+BlockFile::BlockFile(std::uint64_t page_bytes, const std::string& dir)
+    : page_bytes_(page_bytes) {
+  std::string base = dir.empty() ? "/tmp" : dir;
+  std::string tmpl = base + "/gep_ooc_XXXXXX";
+  std::vector<char> path(tmpl.begin(), tmpl.end());
+  path.push_back('\0');
+  fd_ = ::mkstemp(path.data());
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("BlockFile: mkstemp failed: ") +
+                             std::strerror(errno));
+  }
+  ::unlink(path.data());  // anonymous: vanishes when closed
+}
+
+BlockFile::~BlockFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void BlockFile::read_page(std::uint64_t page, void* buf) {
+  ++pages_read_;
+  const off_t off = static_cast<off_t>(page * page_bytes_);
+  std::uint64_t got = 0;
+  while (got < page_bytes_) {
+    ssize_t r = ::pread(fd_, static_cast<char*>(buf) + got,
+                        page_bytes_ - got, off + static_cast<off_t>(got));
+    if (r < 0) throw std::runtime_error("BlockFile: pread failed");
+    if (r == 0) {  // beyond EOF: sparse page reads as zeros
+      std::memset(static_cast<char*>(buf) + got, 0, page_bytes_ - got);
+      return;
+    }
+    got += static_cast<std::uint64_t>(r);
+  }
+}
+
+void BlockFile::write_page(std::uint64_t page, const void* buf) {
+  ++pages_written_;
+  const off_t off = static_cast<off_t>(page * page_bytes_);
+  std::uint64_t put = 0;
+  while (put < page_bytes_) {
+    ssize_t w = ::pwrite(fd_, static_cast<const char*>(buf) + put,
+                         page_bytes_ - put, off + static_cast<off_t>(put));
+    if (w <= 0) throw std::runtime_error("BlockFile: pwrite failed");
+    put += static_cast<std::uint64_t>(w);
+  }
+}
+
+}  // namespace gep

@@ -1,0 +1,38 @@
+// Page-granular temporary file storage for out-of-core matrices.
+//
+// One BlockFile backs one out-of-core object. Pages are fixed-size and
+// addressed by index; unwritten pages read back as zero bytes (the file
+// is created sparse). Real pread/pwrite I/O is performed — the disk
+// *latency* is modelled separately (disk_model.hpp) because the host's
+// NVMe-class storage would otherwise hide the effect Fig. 7 measures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gep {
+
+class BlockFile {
+ public:
+  // Creates an unlinked temporary file in `dir` (falls back to /tmp).
+  explicit BlockFile(std::uint64_t page_bytes, const std::string& dir = "");
+  ~BlockFile();
+
+  BlockFile(const BlockFile&) = delete;
+  BlockFile& operator=(const BlockFile&) = delete;
+
+  void read_page(std::uint64_t page, void* buf);
+  void write_page(std::uint64_t page, const void* buf);
+
+  std::uint64_t page_bytes() const { return page_bytes_; }
+  std::uint64_t pages_read() const { return pages_read_; }
+  std::uint64_t pages_written() const { return pages_written_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t page_bytes_;
+  std::uint64_t pages_read_ = 0;
+  std::uint64_t pages_written_ = 0;
+};
+
+}  // namespace gep

@@ -1,0 +1,3 @@
+// disk_model is header-only; this TU exists to give the target a home
+// for future non-inline additions and to keep one object per header.
+#include "extmem/disk_model.hpp"

@@ -1,0 +1,210 @@
+// Out-of-core matrix backed by a shared PageCache.
+//
+// Elements are stored row-major across B-byte pages of an unlinked
+// temporary file; get/set pin the owning page, with a one-entry pointer
+// memo (validated against the cache's eviction epoch) so the unit-stride
+// inner loops of the GEP engines touch the hash table only on page
+// crossings. Satisfies the generic engines' Accessor concept, so the
+// identical G / I-GEP / C-GEP code used in-core runs out-of-core — the
+// paper's portability claim made literal.
+#pragma once
+
+#include "extmem/page_cache.hpp"
+#include "matrix/matrix.hpp"
+
+namespace gep {
+
+template <class T>
+class OocMatrix {
+ public:
+  using value_type = T;
+
+  OocMatrix(PageCache& cache, index_t rows, index_t cols)
+      : cache_(&cache), rows_(rows), cols_(cols),
+        elems_per_page_(static_cast<index_t>(cache.page_bytes() / sizeof(T))) {
+    assert(elems_per_page_ > 0);
+    const std::uint64_t pages =
+        (static_cast<std::uint64_t>(rows * cols) +
+         static_cast<std::uint64_t>(elems_per_page_) - 1) /
+        static_cast<std::uint64_t>(elems_per_page_);
+    file_id_ = cache.register_file(pages);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t n() const {
+    assert(rows_ == cols_);
+    return rows_;
+  }
+
+  T get(index_t i, index_t j) const {
+    return *element(i, j, /*for_write=*/false);
+  }
+  void set(index_t i, index_t j, T v) { *element(i, j, /*for_write=*/true) = v; }
+
+  // Bulk initialization from an in-core matrix.
+  void load(const Matrix<T>& m) {
+    assert(m.rows() == rows_ && m.cols() == cols_);
+    for (index_t i = 0; i < rows_; ++i)
+      for (index_t j = 0; j < cols_; ++j) set(i, j, m(i, j));
+  }
+
+  // Bulk copy from another out-of-core matrix of identical shape.
+  void copy_from(const OocMatrix& other) {
+    assert(other.rows_ == rows_ && other.cols_ == cols_);
+    for (index_t i = 0; i < rows_; ++i)
+      for (index_t j = 0; j < cols_; ++j) set(i, j, other.get(i, j));
+  }
+
+  Matrix<T> to_matrix() const {
+    Matrix<T> m(rows_, cols_);
+    for (index_t i = 0; i < rows_; ++i)
+      for (index_t j = 0; j < cols_; ++j) m(i, j) = get(i, j);
+    return m;
+  }
+
+ private:
+  T* element(index_t i, index_t j, bool for_write) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    const index_t idx = i * cols_ + j;
+    const index_t page = idx / elems_per_page_;
+    const index_t off = idx - page * elems_per_page_;
+    // Fast path: same page as last time, no eviction since, and we are
+    // not upgrading a read-pinned page to a write.
+    if (page == memo_page_ && memo_epoch_ == cache_->eviction_epoch() &&
+        (memo_dirty_ || !for_write)) {
+      return memo_ptr_ + off;
+    }
+    memo_ptr_ = static_cast<T*>(
+        cache_->pin(file_id_, static_cast<std::uint64_t>(page), for_write));
+    memo_page_ = page;
+    memo_epoch_ = cache_->eviction_epoch();
+    memo_dirty_ = for_write;
+    return memo_ptr_ + off;
+  }
+
+  PageCache* cache_;
+  index_t rows_;
+  index_t cols_;
+  index_t elems_per_page_;
+  int file_id_;
+  mutable T* memo_ptr_ = nullptr;
+  mutable index_t memo_page_ = -1;
+  mutable std::uint64_t memo_epoch_ = ~0ULL;
+  mutable bool memo_dirty_ = false;
+};
+
+// Out-of-core matrix with a TILE-MAJOR on-disk layout: square ts x ts
+// tiles, one tile per page, tiles ordered row-major. A recursive engine
+// working on an m x m box then touches O((m/ts)²) pages instead of the
+// O(m²/elems_per_page) row-segments of the row-major layout — the
+// out-of-core analogue of the bit-interleaved in-core layout (§4.2), and
+// the layout STXXL's matrix containers use. Drop-in accessor replacement
+// for OocMatrix.
+template <class T>
+class OocTiledMatrix {
+ public:
+  using value_type = T;
+
+  // Tile side defaults to the largest power-of-two square fitting one
+  // page (power-of-two sides align tiles with the recursion's boxes);
+  // when the page holds more than one such tile, consecutive tiles share
+  // a page so no capacity is wasted.
+  OocTiledMatrix(PageCache& cache, index_t rows, index_t cols,
+                 index_t tile_side = 0)
+      : cache_(&cache), rows_(rows), cols_(cols) {
+    const index_t per_page =
+        static_cast<index_t>(cache.page_bytes() / sizeof(T));
+    if (tile_side <= 0) {
+      tile_side = 1;
+      while ((tile_side * 2) * (tile_side * 2) <= per_page) tile_side *= 2;
+    }
+    ts_ = tile_side;
+    assert(ts_ * ts_ <= per_page);
+    tiles_per_page_ = std::max<index_t>(1, per_page / (ts_ * ts_));
+    tiles_per_row_ = (cols_ + ts_ - 1) / ts_;
+    const index_t tile_rows = (rows_ + ts_ - 1) / ts_;
+    const index_t tiles = tile_rows * tiles_per_row_;
+    file_id_ = cache.register_file(static_cast<std::uint64_t>(
+        (tiles + tiles_per_page_ - 1) / tiles_per_page_));
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t tile_side() const { return ts_; }
+
+  // Pins the tile's page and returns a typed pointer to the ts x ts
+  // tile (row-major, stride = tile_side()). The tile stays resident
+  // until the TilePin is destroyed — the basis of the typed out-of-core
+  // engine (ooc_typed.hpp).
+  struct TilePin {
+    PageCache::PagePin pin;
+    T* ptr = nullptr;
+  };
+  TilePin pin_tile(index_t ti, index_t tj, bool for_write) {
+    const index_t tile = ti * tiles_per_row_ + tj;
+    const index_t page = tile / tiles_per_page_;
+    PageCache::PagePin pin = cache_->acquire(
+        file_id_, static_cast<std::uint64_t>(page), for_write);
+    T* base = static_cast<T*>(pin.data()) +
+              (tile % tiles_per_page_) * ts_ * ts_;
+    // Pinning may have evicted the page our memo pointed at.
+    memo_page_ = -1;
+    return TilePin{std::move(pin), base};
+  }
+  index_t n() const {
+    assert(rows_ == cols_);
+    return rows_;
+  }
+
+  T get(index_t i, index_t j) const {
+    return *element(i, j, /*for_write=*/false);
+  }
+  void set(index_t i, index_t j, T v) { *element(i, j, /*for_write=*/true) = v; }
+
+  void load(const Matrix<T>& m) {
+    assert(m.rows() == rows_ && m.cols() == cols_);
+    for (index_t i = 0; i < rows_; ++i)
+      for (index_t j = 0; j < cols_; ++j) set(i, j, m(i, j));
+  }
+
+  Matrix<T> to_matrix() const {
+    Matrix<T> m(rows_, cols_);
+    for (index_t i = 0; i < rows_; ++i)
+      for (index_t j = 0; j < cols_; ++j) m(i, j) = get(i, j);
+    return m;
+  }
+
+ private:
+  T* element(index_t i, index_t j, bool for_write) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    const index_t tile = (i / ts_) * tiles_per_row_ + (j / ts_);
+    const index_t page = tile / tiles_per_page_;
+    const index_t off =
+        (tile % tiles_per_page_) * ts_ * ts_ + (i % ts_) * ts_ + (j % ts_);
+    if (page == memo_page_ && memo_epoch_ == cache_->eviction_epoch() &&
+        (memo_dirty_ || !for_write)) {
+      return memo_ptr_ + off;
+    }
+    memo_ptr_ = static_cast<T*>(
+        cache_->pin(file_id_, static_cast<std::uint64_t>(page), for_write));
+    memo_page_ = page;
+    memo_epoch_ = cache_->eviction_epoch();
+    memo_dirty_ = for_write;
+    return memo_ptr_ + off;
+  }
+
+  PageCache* cache_;
+  index_t rows_;
+  index_t cols_;
+  index_t ts_ = 0;
+  index_t tiles_per_row_ = 0;
+  index_t tiles_per_page_ = 1;
+  int file_id_;
+  mutable T* memo_ptr_ = nullptr;
+  mutable index_t memo_page_ = -1;
+  mutable std::uint64_t memo_epoch_ = ~0ULL;
+  mutable bool memo_dirty_ = false;
+};
+
+}  // namespace gep

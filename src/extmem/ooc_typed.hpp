@@ -1,0 +1,99 @@
+// Typed out-of-core I-GEP: the A/B/C/D recursion over tile-major disk
+// pages, with base-case kernels running on PINNED frames.
+//
+// The generic engines run out-of-core through per-element get/set — fully
+// general, but every element access pays accessor overhead. A production
+// out-of-core implementation (what STXXL-based code does, and what the
+// paper's out-of-core numbers imply) operates at block granularity: pin
+// the X/U/V(/W) tiles of a base-case box in memory, run the raw-pointer
+// kernel, release. Same recursion, same I/O pattern, near in-core compute
+// speed. Requires the base size to equal the on-disk tile side and the
+// page cache to hold at least 4 pinned tiles plus headroom.
+#pragma once
+
+#include <stdexcept>
+
+#include "extmem/ooc_matrix.hpp"
+#include "gep/typed.hpp"
+
+namespace gep {
+
+namespace detail {
+
+template <class T>
+void check_ooc_typed(const OocTiledMatrix<T>& m) {
+  const index_t n = m.rows();
+  if (m.cols() != n || !is_pow2(n)) {
+    throw std::invalid_argument("ooc typed engine: square pow2 matrix only");
+  }
+  if (n % m.tile_side() != 0 || !is_pow2(m.tile_side())) {
+    throw std::invalid_argument("ooc typed engine: tile side must divide n");
+  }
+}
+
+}  // namespace detail
+
+// Out-of-core Floyd-Warshall at block granularity (base = tile side).
+template <class T>
+void ooc_igep_floyd_warshall(OocTiledMatrix<T>& m) {
+  detail::check_ooc_typed(m);
+  const index_t n = m.rows();
+  const index_t bs = m.tile_side();
+  SeqInvoker inv;
+  auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm, BoxKind) {
+    auto x = m.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
+    auto u = m.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
+    auto v = m.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
+    kernel_fw(x.ptr, u.ptr, v.ptr, mm, bs, bs, bs);
+  };
+  auto prune = [](index_t, index_t, index_t, index_t) { return false; };
+  detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+}
+
+// Out-of-core LU decomposition without pivoting at block granularity.
+template <class T>
+void ooc_igep_lu(OocTiledMatrix<T>& m) {
+  detail::check_ooc_typed(m);
+  const index_t n = m.rows();
+  const index_t bs = m.tile_side();
+  SeqInvoker inv;
+  auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm,
+                  BoxKind kind) {
+    auto x = m.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
+    auto u = m.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
+    auto v = m.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
+    auto w = m.pin_tile(k0 / bs, k0 / bs, /*for_write=*/false);
+    const bool di = (kind == BoxKind::A || kind == BoxKind::B);
+    const bool dj = (kind == BoxKind::A || kind == BoxKind::C);
+    kernel_lu(x.ptr, u.ptr, v.ptr, w.ptr, mm, bs, bs, bs, bs, di, dj);
+  };
+  auto prune = [](index_t i0, index_t j0, index_t k0, index_t) {
+    return i0 < k0 || j0 < k0;
+  };
+  detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+}
+
+// Out-of-core matrix multiplication C += A·B at block granularity.
+template <class T>
+void ooc_igep_matmul(OocTiledMatrix<T>& c, OocTiledMatrix<T>& a,
+                     OocTiledMatrix<T>& b) {
+  detail::check_ooc_typed(c);
+  detail::check_ooc_typed(a);
+  detail::check_ooc_typed(b);
+  const index_t n = c.rows();
+  const index_t bs = c.tile_side();
+  if (a.rows() != n || b.rows() != n || a.tile_side() != bs ||
+      b.tile_side() != bs) {
+    throw std::invalid_argument("ooc matmul: shapes/tiles must match");
+  }
+  SeqInvoker inv;
+  auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm) {
+    auto x = c.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
+    auto u = a.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
+    auto v = b.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
+    kernel_mm(x.ptr, u.ptr, v.ptr, mm, bs, bs, bs);
+  };
+  detail::mm_rec(inv, 0, 0, 0, n, bs, leaf);
+}
+
+}  // namespace gep

@@ -1,0 +1,114 @@
+#include "extmem/page_cache.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace gep {
+
+PageCache::PageCache(std::uint64_t capacity_bytes, std::uint64_t page_bytes,
+                     DiskModel model)
+    : page_bytes_(page_bytes),
+      frame_count_(capacity_bytes / page_bytes),
+      model_(model) {
+  assert(page_bytes_ > 0);
+  if (frame_count_ == 0) frame_count_ = 1;
+  pool_ = make_aligned<char>(frame_count_ * page_bytes_);
+  frames_.assign(frame_count_, Frame{});
+  lru_pos_.resize(frame_count_);
+  for (std::size_t f = 0; f < frame_count_; ++f) {
+    lru_.push_back(f);  // cold frames at the back
+    lru_pos_[f] = std::prev(lru_.end());
+  }
+  table_.reserve(frame_count_ * 2);
+}
+
+PageCache::~PageCache() { flush(); }
+
+int PageCache::register_file(std::uint64_t pages) {
+  (void)pages;
+  files_.push_back(std::make_unique<BlockFile>(page_bytes_));
+  return static_cast<int>(files_.size()) - 1;
+}
+
+void PageCache::evict(std::size_t frame) {
+  Frame& fr = frames_[frame];
+  if (!fr.valid) return;
+  if (fr.dirty) {
+    const int file_id = static_cast<int>(fr.key >> 40);
+    const std::uint64_t page = fr.key & ((1ULL << 40) - 1);
+    files_[static_cast<std::size_t>(file_id)]->write_page(
+        page, pool_.get() + frame * page_bytes_);
+    ++stats_.page_outs;
+    stats_.io_wait_seconds += model_.io_seconds(page_bytes_);
+  }
+  table_.erase(fr.key);
+  fr.valid = false;
+  fr.dirty = false;
+  ++epoch_;
+}
+
+void* PageCache::pin(int file_id, std::uint64_t page, bool for_write) {
+  ++stats_.pins;
+  const std::uint64_t key = make_key(file_id, page);
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    ++stats_.hits;
+    const std::size_t frame = it->second;
+    lru_.splice(lru_.begin(), lru_, lru_pos_[frame]);  // bump to MRU
+    if (for_write) frames_[frame].dirty = true;
+    return pool_.get() + frame * page_bytes_;
+  }
+  // Fault: repurpose the least-recently-used UNLOCKED frame.
+  std::size_t frame = frame_count_;  // sentinel
+  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+    if (frames_[*rit].pins == 0) {
+      frame = *rit;
+      break;
+    }
+  }
+  if (frame == frame_count_) {
+    throw std::runtime_error("PageCache: every frame is pinned");
+  }
+  evict(frame);
+  files_[static_cast<std::size_t>(file_id)]->read_page(
+      page, pool_.get() + frame * page_bytes_);
+  ++stats_.page_ins;
+  stats_.io_wait_seconds += model_.io_seconds(page_bytes_);
+  frames_[frame] = Frame{key, 0, true, for_write};
+  table_[key] = frame;
+  lru_.splice(lru_.begin(), lru_, lru_pos_[frame]);
+  return pool_.get() + frame * page_bytes_;
+}
+
+PageCache::PagePin PageCache::acquire(int file_id, std::uint64_t page,
+                                      bool for_write) {
+  void* data = pin(file_id, page, for_write);
+  const std::size_t frame =
+      static_cast<std::size_t>(static_cast<char*>(data) - pool_.get()) /
+      page_bytes_;
+  frames_[frame].pins += 1;
+  return PagePin(this, frame, data);
+}
+
+void PageCache::unpin_frame(std::size_t frame) {
+  assert(frames_[frame].pins > 0);
+  frames_[frame].pins -= 1;
+}
+
+void PageCache::flush() {
+  for (std::size_t f = 0; f < frame_count_; ++f) {
+    Frame& fr = frames_[f];
+    if (fr.valid && fr.dirty) {
+      const int file_id = static_cast<int>(fr.key >> 40);
+      const std::uint64_t page = fr.key & ((1ULL << 40) - 1);
+      files_[static_cast<std::size_t>(file_id)]->write_page(
+          page, pool_.get() + f * page_bytes_);
+      ++stats_.page_outs;
+      stats_.io_wait_seconds += model_.io_seconds(page_bytes_);
+      fr.dirty = false;
+    }
+  }
+}
+
+}  // namespace gep

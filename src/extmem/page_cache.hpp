@@ -1,0 +1,131 @@
+// Shared LRU page cache over one or more block files.
+//
+// This is the STXXL-cache substitute: a fully associative pool of M bytes
+// in B-byte pages with LRU replacement and write-back, shared by every
+// out-of-core matrix registered with it (just as STXXL's pool is shared
+// by all its containers). M and B are the user-set knobs the paper
+// sweeps in Fig. 7(a) and 7(b). Every page transfer is charged to the
+// DiskModel, accumulating the simulated I/O wait time the figure plots.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "extmem/block_file.hpp"
+#include "extmem/disk_model.hpp"
+#include "util/aligned.hpp"
+
+namespace gep {
+
+struct PageCacheStats {
+  std::uint64_t pins = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t page_ins = 0;   // transfers disk -> cache
+  std::uint64_t page_outs = 0;  // dirty write-backs cache -> disk
+  double io_wait_seconds = 0;   // simulated (DiskModel)
+
+  std::uint64_t io() const { return page_ins + page_outs; }
+};
+
+class PageCache {
+ public:
+  // capacity_bytes = M, page_bytes = B. Needs at least one frame.
+  PageCache(std::uint64_t capacity_bytes, std::uint64_t page_bytes,
+            DiskModel model = {});
+  ~PageCache();
+
+  // Registers a backing file (created by the cache, page size = B).
+  // Returns a file id used by pin(). `pages` bounds the address space.
+  int register_file(std::uint64_t pages);
+
+  // Returns the in-memory frame holding the page, faulting it in if
+  // needed; marks it dirty when for_write. The pointer stays valid until
+  // the next pin() call (which may evict it).
+  void* pin(int file_id, std::uint64_t page, bool for_write);
+
+  // RAII pin: the page's frame cannot be evicted while a PagePin exists.
+  // Lets block-level algorithms hold several tiles resident at once and
+  // run raw-pointer kernels on them (the typed out-of-core engine).
+  class PagePin {
+   public:
+    PagePin() = default;
+    PagePin(PageCache* cache, std::size_t frame, void* data)
+        : cache_(cache), frame_(frame), data_(data) {}
+    PagePin(PagePin&& o) noexcept
+        : cache_(o.cache_), frame_(o.frame_), data_(o.data_) {
+      o.cache_ = nullptr;
+    }
+    PagePin& operator=(PagePin&& o) noexcept {
+      release();
+      cache_ = o.cache_;
+      frame_ = o.frame_;
+      data_ = o.data_;
+      o.cache_ = nullptr;
+      return *this;
+    }
+    PagePin(const PagePin&) = delete;
+    PagePin& operator=(const PagePin&) = delete;
+    ~PagePin() { release(); }
+
+    void* data() const { return data_; }
+
+    void release() {
+      if (cache_ != nullptr) {
+        cache_->unpin_frame(frame_);
+        cache_ = nullptr;
+      }
+    }
+
+   private:
+    PageCache* cache_ = nullptr;
+    std::size_t frame_ = 0;
+    void* data_ = nullptr;
+  };
+
+  // Pins and locks a page. Throws std::runtime_error when every frame is
+  // already locked (the cache must have headroom for the concurrent pins
+  // an algorithm holds — 4 tiles for the GEP kernels).
+  PagePin acquire(int file_id, std::uint64_t page, bool for_write);
+
+  // Write back all dirty frames (counts as I/O).
+  void flush();
+
+  // Monotonic counter bumped whenever any frame is repurposed; lets
+  // callers revalidate cached frame pointers cheaply.
+  std::uint64_t eviction_epoch() const { return epoch_; }
+
+  const PageCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = PageCacheStats{}; }
+  std::uint64_t page_bytes() const { return page_bytes_; }
+  std::uint64_t frames() const { return frame_count_; }
+
+ private:
+  struct Frame {
+    std::uint64_t key = 0;  // (file_id << 40) | page
+    int pins = 0;           // eviction-locked while > 0
+    bool valid = false;
+    bool dirty = false;
+  };
+  void unpin_frame(std::size_t frame);
+  static std::uint64_t make_key(int file_id, std::uint64_t page) {
+    return (static_cast<std::uint64_t>(file_id) << 40) | page;
+  }
+  void evict(std::size_t frame);
+
+  std::uint64_t page_bytes_;
+  std::uint64_t frame_count_;
+  DiskModel model_;
+  AlignedPtr<char> pool_;                  // frame_count_ x page_bytes_
+  std::vector<Frame> frames_;
+  std::list<std::size_t> lru_;             // front = MRU, holds frame ids
+  std::vector<std::list<std::size_t>::iterator> lru_pos_;
+  std::unordered_map<std::uint64_t, std::size_t> table_;  // key -> frame
+  std::vector<std::unique_ptr<BlockFile>> files_;
+  PageCacheStats stats_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace gep

@@ -1,0 +1,54 @@
+// Element-access adapters for the generic GEP engines.
+//
+// The iterative G, the recursive I-GEP F and C-GEP H are templated on an
+// accessor so the *same* engine code runs
+//   * in-core        (DirectAccess over a Matrix<T>),
+//   * trace-counted  (cachesim::TracedAccess — feeds a cache simulator),
+//   * out-of-core    (extmem::OocAccess — goes through the page cache).
+//
+// An accessor provides value-semantics get/set; engines never form long-
+// lived references, which is what lets the out-of-core adapter page data
+// in and out underneath them.
+#pragma once
+
+#include <concepts>
+
+#include "matrix/matrix.hpp"
+
+namespace gep {
+
+template <class A>
+concept Accessor = requires(A a, const A ca, index_t i,
+                            typename A::value_type v) {
+  typename A::value_type;
+  { ca.n() } -> std::convertible_to<index_t>;
+  { a.get(i, i) } -> std::convertible_to<typename A::value_type>;
+  a.set(i, i, v);
+};
+
+// Plain in-memory accessor over a square MatrixView.
+template <class T>
+class DirectAccess {
+ public:
+  using value_type = T;
+
+  explicit DirectAccess(MatrixView<T> m) : m_(m) {}
+
+  // Square-matrix extent (aux slice stores never call this).
+  index_t n() const {
+    assert(m_.rows() == m_.cols());
+    return m_.rows();
+  }
+  T get(index_t i, index_t j) const { return m_(i, j); }
+  void set(index_t i, index_t j, T v) { m_(i, j) = v; }
+
+ private:
+  MatrixView<T> m_;
+};
+
+// No-op instrumentation hook; see trace.hpp for recording hooks.
+struct NoHook {
+  void on_update(index_t /*i*/, index_t /*j*/, index_t /*k*/) {}
+};
+
+}  // namespace gep

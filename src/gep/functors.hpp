@@ -1,0 +1,110 @@
+// Update functions f(x, u, v, w) for the GEP instances treated in the
+// paper, plus helpers used by the correctness tests.
+//
+// The GEP update is c[i,j] <- f(c[i,j], c[i,k], c[k,j], c[k,k]); each
+// functor below receives the operands in that order.
+#pragma once
+
+#include <algorithm>
+
+#include "matrix/matrix.hpp"
+#include "gep/update_set.hpp"
+
+namespace gep {
+
+// Floyd-Warshall all-pairs shortest paths: path relaxation through k.
+struct MinPlusF {
+  template <class T>
+  T operator()(T x, T u, T v, T /*w*/) const {
+    return std::min(x, static_cast<T>(u + v));
+  }
+};
+
+// Gaussian elimination without pivoting (no multipliers stored):
+// Schur-complement update with the division kept in the inner loop,
+// exactly as the paper's unoptimized GEP kernel does.
+struct GaussF {
+  template <class T>
+  T operator()(T x, T u, T v, T w) const {
+    return x - u * v / w;
+  }
+};
+
+// Matrix multiplication as GEP: accumulate u*v.
+struct MulAddF {
+  template <class T>
+  T operator()(T x, T u, T v, T /*w*/) const {
+    return x + u * v;
+  }
+};
+
+// Maximum-capacity (bottleneck) paths: the (max, min) semiring.
+struct MaxMinF {
+  template <class T>
+  T operator()(T x, T u, T v, T /*w*/) const {
+    return std::max(x, std::min(u, v));
+  }
+};
+
+// Transitive closure (Warshall's theorem [22]): boolean or-and semiring.
+// x | (u & v) over {0,1} — the GEP instance behind reachability.
+struct OrAndF {
+  template <class T>
+  T operator()(T x, T u, T v, T /*w*/) const {
+    return static_cast<T>(x | (u & v));
+  }
+};
+
+// The paper's Section 2.2.1 counterexample: f returns the sum of all four
+// operands. I-GEP diverges from GEP on this f with Σ = full.
+struct SumF {
+  template <class T>
+  T operator()(T x, T u, T v, T w) const {
+    return x + u + v + w;
+  }
+};
+
+// A linear combination with fixed coefficients. Because the output is a
+// weighted sum of the four operand *states*, any difference in the state
+// an engine supplies for any operand changes the result — this makes it
+// the sharpest probe for C-GEP's full-generality claim.
+struct LinearF {
+  double a = 1.0, b = 1.0, c = 1.0, d = 1.0;
+  double operator()(double x, double u, double v, double w) const {
+    return a * x + b * u + c * v + d * w;
+  }
+};
+
+// --- Index-aware application --------------------------------------------
+//
+// Some instances need the indices of the update (LU's j == k case).
+// Engines apply updates through apply_update, which passes (i, j, k)
+// along when the functor wants them.
+
+template <class F, class T>
+concept IndexAwareF = requires(const F f, T x, index_t i) {
+  { f(x, x, x, x, i, i, i) } -> std::convertible_to<T>;
+};
+
+// Index-aware LU functor used by the engines.
+struct LUIndexedF {
+  template <class T>
+  T operator()(T x, T u, T v, T w, index_t /*i*/, index_t j, index_t k) const {
+    if (j == k) return x / w;  // store multiplier
+    return x - u * v;          // u is already divided (Theorem 2.2 ordering)
+  }
+};
+
+template <class F, class T>
+T apply_f(const F& f, T x, T u, T v, T w, index_t i, index_t j, index_t k) {
+  if constexpr (IndexAwareF<F, T>) {
+    return f(x, u, v, w, i, j, k);
+  } else {
+    (void)i;
+    (void)j;
+    (void)k;
+    return f(x, u, v, w);
+  }
+}
+
+}  // namespace gep

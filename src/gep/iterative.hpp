@@ -1,0 +1,41 @@
+// G — the iterative Gaussian Elimination Paradigm (paper Fig. 1).
+//
+// Triply nested k/i/j loops applying c[i,j] <- f(c[i,j], c[i,k], c[k,j],
+// c[k,k]) for every <i,j,k> in Σ_G. O(n³) time, O(n³/B) I/Os. This is the
+// ground-truth semantics: C-GEP must reproduce it for *every* (f, Σ_G),
+// I-GEP for the instances of Section 2.2.
+#pragma once
+
+#include "gep/access.hpp"
+#include "gep/functors.hpp"
+#include "gep/update_set.hpp"
+
+namespace gep {
+
+template <Accessor Acc, class F, UpdateSet S, class Hook = NoHook>
+void run_gep(Acc& c, const F& f, const S& sigma, Hook* hook = nullptr) {
+  using T = typename Acc::value_type;
+  const index_t n = c.n();
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        if (!sigma.contains(i, j, k)) continue;
+        if (hook) hook->on_update(i, j, k);
+        T x = c.get(i, j);
+        T u = c.get(i, k);
+        T v = c.get(k, j);
+        T w = c.get(k, k);
+        c.set(i, j, apply_f(f, x, u, v, w, i, j, k));
+      }
+    }
+  }
+}
+
+// Convenience overload for an in-memory matrix.
+template <class T, class F, UpdateSet S>
+void run_gep(Matrix<T>& c, const F& f, const S& sigma) {
+  DirectAccess<T> acc(c.view());
+  run_gep(acc, f, sigma);
+}
+
+}  // namespace gep

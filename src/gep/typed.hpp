@@ -1,0 +1,246 @@
+// Typed I-GEP — the production engine (paper Figs. 4, 5, 6, 13, 14).
+//
+// I-GEP's recursive calls fall into four families by how the i/j/k
+// intervals overlap: A (I = J = K), B (I = K), C (J = K), D (disjoint).
+// Less overlap means fewer ordering constraints: within one call,
+//   A: 6 stages  seq{ A, par{B,C}, D }  per k-half,
+//   B: 4 stages  par{B,B}; par{D,D}  per k-half,
+//   C: 4 stages  par{C,C}; par{D,D}  per k-half,
+//   D: 2 stages  par{D,D,D,D}        per k-half.
+// Executed sequentially this is exactly Fig. 4/5; executed with a
+// fork-join invoker it is the multithreaded I-GEP of Fig. 6 with span
+// O(n log² n) (Theorem 3.1).
+//
+// The engine is generic over an Invoker (sequential here; the
+// work-stealing one lives in parallel/), a TileStore (row-major or
+// Z-Morton; layout/zblocked.hpp) and a Problem supplying the pruning
+// rule and the leaf kernel. Leaves are base-size tiles dispatched to the
+// kernels in kernels.hpp.
+#pragma once
+
+#include "gep/kernels.hpp"
+#include "layout/zblocked.hpp"
+#include "matrix/matrix.hpp"
+
+namespace gep {
+
+enum class BoxKind { A, B, C, D };
+
+// Runs callables one after another (the unthreaded engine).
+struct SeqInvoker {
+  template <class... Fs>
+  void invoke(Fs&&... fs) {
+    (static_cast<Fs&&>(fs)(), ...);
+  }
+};
+
+namespace detail {
+
+template <class Inv, class Leaf, class Prune>
+void typed_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
+               index_t bs, const Leaf& leaf, const Prune& prune) {
+  if (prune(i0, j0, k0, m)) return;
+  if (m <= bs) {
+    const bool ik = (i0 == k0), jk = (j0 == k0);
+    BoxKind kind = ik ? (jk ? BoxKind::A : BoxKind::B)
+                      : (jk ? BoxKind::C : BoxKind::D);
+    leaf(i0, j0, k0, m, kind);
+    return;
+  }
+  const index_t h = m / 2;
+  const index_t ka = k0, kb = k0 + h;
+  auto R = [&](index_t ii, index_t jj, index_t kk) {
+    typed_rec(inv, ii, jj, kk, h, bs, leaf, prune);
+  };
+  const bool ik = (i0 == k0), jk = (j0 == k0);
+  if (ik && jk) {  // A (Fig. 6 top): A; par{B,C}; D — per k-half
+    R(i0, j0, ka);
+    inv.invoke([&] { R(i0, j0 + h, ka); }, [&] { R(i0 + h, j0, ka); });
+    R(i0 + h, j0 + h, ka);
+    R(i0 + h, j0 + h, kb);
+    inv.invoke([&] { R(i0 + h, j0, kb); }, [&] { R(i0, j0 + h, kb); });
+    R(i0, j0, kb);
+  } else if (ik) {  // B: row panels share U; columns split
+    inv.invoke([&] { R(i0, j0, ka); }, [&] { R(i0, j0 + h, ka); });
+    inv.invoke([&] { R(i0 + h, j0, ka); }, [&] { R(i0 + h, j0 + h, ka); });
+    inv.invoke([&] { R(i0 + h, j0, kb); }, [&] { R(i0 + h, j0 + h, kb); });
+    inv.invoke([&] { R(i0, j0, kb); }, [&] { R(i0, j0 + h, kb); });
+  } else if (jk) {  // C: column panels share V; rows split
+    inv.invoke([&] { R(i0, j0, ka); }, [&] { R(i0 + h, j0, ka); });
+    inv.invoke([&] { R(i0, j0 + h, ka); }, [&] { R(i0 + h, j0 + h, ka); });
+    inv.invoke([&] { R(i0, j0 + h, kb); }, [&] { R(i0 + h, j0 + h, kb); });
+    inv.invoke([&] { R(i0, j0, kb); }, [&] { R(i0 + h, j0, kb); });
+  } else {  // D: fully disjoint; each k-half is one parallel stage
+    inv.invoke([&] { R(i0, j0, ka); }, [&] { R(i0, j0 + h, ka); },
+               [&] { R(i0 + h, j0, ka); }, [&] { R(i0 + h, j0 + h, ka); });
+    inv.invoke([&] { R(i0, j0, kb); }, [&] { R(i0, j0 + h, kb); },
+               [&] { R(i0 + h, j0, kb); }, [&] { R(i0 + h, j0 + h, kb); });
+  }
+}
+
+// Matrix multiplication C += A·B is I-GEP's D function over three
+// disjoint matrices; both k-halves of every level are single parallel
+// stages, giving span O(n) (end of Section 3).
+template <class Inv, class Leaf>
+void mm_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
+            index_t bs, const Leaf& leaf) {
+  if (m <= bs) {
+    leaf(i0, j0, k0, m);
+    return;
+  }
+  const index_t h = m / 2;
+  auto R = [&](index_t ii, index_t jj, index_t kk) {
+    mm_rec(inv, ii, jj, kk, h, bs, leaf);
+  };
+  for (index_t kk : {k0, k0 + h}) {
+    inv.invoke([&] { R(i0, j0, kk); }, [&] { R(i0, j0 + h, kk); },
+               [&] { R(i0 + h, j0, kk); }, [&] { R(i0 + h, j0 + h, kk); });
+  }
+}
+
+}  // namespace detail
+
+// --- Problem drivers -------------------------------------------------------
+
+struct TypedOptions {
+  index_t base_size = 64;  // paper: best 64 (Opteron) / 128 (Xeon)
+};
+
+// Floyd-Warshall over a TileStore. Σ is the full cube: nothing prunes.
+template <class Inv, class Store>
+void igep_floyd_warshall(Inv& inv, const Store& st, index_t n,
+                         TypedOptions opts = {}) {
+  using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t s = st.tile_stride();
+  auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t m, BoxKind) {
+    T* x = st.tile(i0 / bs, j0 / bs);
+    const T* u = st.tile(i0 / bs, k0 / bs);
+    const T* v = st.tile(k0 / bs, j0 / bs);
+    kernel_fw(x, u, v, m, s, s, s);
+  };
+  auto prune = [](index_t, index_t, index_t, index_t) { return false; };
+  detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+}
+
+// Floyd-Warshall with successor tracking: dst holds distances, sst the
+// successor (next hop) indices; both advance in lockstep.
+template <class Inv, class StoreD, class StoreS>
+void igep_floyd_warshall_paths(Inv& inv, const StoreD& dst, const StoreS& sst,
+                               index_t n, TypedOptions opts = {}) {
+  using T = std::remove_reference_t<decltype(dst.tile(0, 0)[0])>;
+  using I = std::remove_reference_t<decltype(sst.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t s = dst.tile_stride();
+  const index_t ss = sst.tile_stride();
+  auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t m, BoxKind) {
+    T* x = dst.tile(i0 / bs, j0 / bs);
+    const T* u = dst.tile(i0 / bs, k0 / bs);
+    const T* v = dst.tile(k0 / bs, j0 / bs);
+    I* xs = sst.tile(i0 / bs, j0 / bs);
+    const I* us = sst.tile(i0 / bs, k0 / bs);
+    kernel_fw_paths(x, u, v, xs, us, m, s, s, s, ss, ss);
+  };
+  auto prune = [](index_t, index_t, index_t, index_t) { return false; };
+  detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+}
+
+// Maximum-capacity (bottleneck) paths over a TileStore.
+template <class Inv, class Store>
+void igep_bottleneck(Inv& inv, const Store& st, index_t n,
+                     TypedOptions opts = {}) {
+  using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t s = st.tile_stride();
+  auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t m, BoxKind) {
+    T* x = st.tile(i0 / bs, j0 / bs);
+    const T* u = st.tile(i0 / bs, k0 / bs);
+    const T* v = st.tile(k0 / bs, j0 / bs);
+    kernel_bottleneck(x, u, v, m, s, s, s);
+  };
+  auto prune = [](index_t, index_t, index_t, index_t) { return false; };
+  detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+}
+
+// Transitive closure (boolean or-and Floyd-Warshall) over a TileStore.
+template <class Inv, class Store>
+void igep_transitive_closure(Inv& inv, const Store& st, index_t n,
+                             TypedOptions opts = {}) {
+  using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t s = st.tile_stride();
+  auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t m, BoxKind) {
+    T* x = st.tile(i0 / bs, j0 / bs);
+    const T* u = st.tile(i0 / bs, k0 / bs);
+    const T* v = st.tile(k0 / bs, j0 / bs);
+    kernel_tc(x, u, v, m, s, s, s);
+  };
+  auto prune = [](index_t, index_t, index_t, index_t) { return false; };
+  detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+}
+
+// Gaussian elimination without pivoting (Σ: k < i && k < j).
+template <class Inv, class Store>
+void igep_gaussian(Inv& inv, const Store& st, index_t n,
+                   TypedOptions opts = {}) {
+  using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t s = st.tile_stride();
+  auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t m,
+                  BoxKind kind) {
+    T* x = st.tile(i0 / bs, j0 / bs);
+    const T* u = st.tile(i0 / bs, k0 / bs);
+    const T* v = st.tile(k0 / bs, j0 / bs);
+    const T* w = st.tile(k0 / bs, k0 / bs);
+    const bool di = (kind == BoxKind::A || kind == BoxKind::B);
+    const bool dj = (kind == BoxKind::A || kind == BoxKind::C);
+    kernel_ge(x, u, v, w, m, s, s, s, s, di, dj);
+  };
+  // Aligned ranges are equal or disjoint, so Σ misses the box iff the
+  // i-range or the j-range lies strictly below the k-range.
+  auto prune = [](index_t i0, index_t j0, index_t k0, index_t) {
+    return i0 < k0 || j0 < k0;
+  };
+  detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+}
+
+// LU decomposition without pivoting (Σ: k < i && k <= j); multipliers are
+// stored in the strictly lower triangle.
+template <class Inv, class Store>
+void igep_lu(Inv& inv, const Store& st, index_t n, TypedOptions opts = {}) {
+  using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t s = st.tile_stride();
+  auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t m,
+                  BoxKind kind) {
+    T* x = st.tile(i0 / bs, j0 / bs);
+    const T* u = st.tile(i0 / bs, k0 / bs);
+    const T* v = st.tile(k0 / bs, j0 / bs);
+    const T* w = st.tile(k0 / bs, k0 / bs);
+    const bool di = (kind == BoxKind::A || kind == BoxKind::B);
+    const bool dj = (kind == BoxKind::A || kind == BoxKind::C);
+    kernel_lu(x, u, v, w, m, s, s, s, s, di, dj);
+  };
+  auto prune = [](index_t i0, index_t j0, index_t k0, index_t) {
+    return i0 < k0 || j0 < k0;
+  };
+  detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+}
+
+// C += A·B with A, B, C in separate tile stores.
+template <class Inv, class StoreC, class StoreA, class StoreB>
+void igep_matmul(Inv& inv, const StoreC& cst, const StoreA& ast,
+                 const StoreB& bst, index_t n, TypedOptions opts = {}) {
+  using T = std::remove_reference_t<decltype(cst.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t m) {
+    T* x = cst.tile(i0 / bs, j0 / bs);
+    const T* a = ast.tile(i0 / bs, k0 / bs);
+    const T* b = bst.tile(k0 / bs, j0 / bs);
+    kernel_mm(x, a, b, m, cst.tile_stride(), ast.tile_stride(),
+              bst.tile_stride());
+  };
+  detail::mm_rec(inv, 0, 0, 0, n, bs, leaf);
+}
+
+}  // namespace gep

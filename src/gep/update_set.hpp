@@ -1,0 +1,160 @@
+// Update sets Σ_G for the Gaussian Elimination Paradigm.
+//
+// A GEP computation (paper Fig. 1) applies updates
+//     c[i,j] <- f(c[i,j], c[i,k], c[k,j], c[k,k])
+// for every triple <i,j,k> in a problem-specific set Σ_G, with k in the
+// outer loop. An UpdateSet describes Σ_G. The recursive engines need two
+// queries beyond membership:
+//
+//  * intersects_box  — "does Σ_G intersect the box I x J x K?" (line 1 of
+//    Figs. 2 and 3; lets the recursion prune empty subproblems in O(1)).
+//  * next_k          — smallest k' > k with <i,j,k'> in Σ_G. C-GEP's save
+//    conditions (Fig. 3 lines 5-8) test k == τ_ij(l), which is equivalent
+//    to k <= l && next_k(i,j,k) > l, so an O(1) next_k gives O(1) saves.
+//
+// All indices are 0-based; boxes are closed ranges [lo, hi].
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <limits>
+
+#include "matrix/matrix.hpp"
+
+namespace gep {
+
+inline constexpr index_t kNoNextK = std::numeric_limits<index_t>::max();
+
+template <class S>
+concept UpdateSet = requires(const S s, index_t i, index_t j, index_t k) {
+  { s.contains(i, j, k) } -> std::convertible_to<bool>;
+  { s.intersects_box(i, i, j, j, k, k) } -> std::convertible_to<bool>;
+  { s.next_k(i, j, k) } -> std::convertible_to<index_t>;
+};
+
+// Σ_G = [0,n)³ — every triple. Used by Floyd-Warshall and by matrix
+// multiplication expressed as GEP.
+struct FullSet {
+  index_t n = 0;
+
+  bool contains(index_t, index_t, index_t) const { return true; }
+  bool intersects_box(index_t, index_t, index_t, index_t, index_t,
+                      index_t) const {
+    return true;
+  }
+  index_t next_k(index_t, index_t, index_t k) const {
+    return k + 1 < n ? k + 1 : kNoNextK;
+  }
+};
+
+using FloydWarshallSet = FullSet;
+
+// Σ_G = { <i,j,k> : k < i && k < j } — Gaussian elimination without
+// pivoting (Schur-complement updates only; multipliers not stored).
+struct GaussianSet {
+  index_t n = 0;
+
+  bool contains(index_t i, index_t j, index_t k) const {
+    return k < i && k < j;
+  }
+  bool intersects_box(index_t i1, index_t i2, index_t j1, index_t j2,
+                      index_t k1, index_t k2) const {
+    (void)i1;
+    (void)j1;
+    (void)k2;
+    return k1 < i2 && k1 < j2;
+  }
+  index_t next_k(index_t i, index_t j, index_t k) const {
+    index_t nk = k + 1;
+    return (nk < i && nk < j) ? nk : kNoNextK;
+  }
+};
+
+// Σ_G = { <i,j,k> : k < i && k <= j } — LU decomposition without pivoting.
+// The extra j == k updates store the multipliers c[i,k] <- c[i,k]/c[k,k].
+struct LUSet {
+  index_t n = 0;
+
+  bool contains(index_t i, index_t j, index_t k) const {
+    return k < i && k <= j;
+  }
+  bool intersects_box(index_t i1, index_t i2, index_t j1, index_t j2,
+                      index_t k1, index_t k2) const {
+    (void)i1;
+    (void)j1;
+    (void)k2;
+    return k1 < i2 && k1 <= j2;
+  }
+  index_t next_k(index_t i, index_t j, index_t k) const {
+    index_t nk = k + 1;
+    return (nk < i && nk <= j) ? nk : kNoNextK;
+  }
+};
+
+// Banded Σ_G: updates restricted to |i - k| <= band && |j - k| <= band —
+// the GEP shape of banded Gaussian elimination and banded shortest
+// paths. Exact O(1) box tests and next_k, so the recursive engines prune
+// everything outside the band (work drops to O(n·band²)).
+struct BandedSet {
+  index_t n = 0;
+  index_t band = 0;
+
+  bool contains(index_t i, index_t j, index_t k) const {
+    return (i >= k ? i - k : k - i) <= band &&
+           (j >= k ? j - k : k - j) <= band;
+  }
+  bool intersects_box(index_t i1, index_t i2, index_t j1, index_t j2,
+                      index_t k1, index_t k2) const {
+    // Ranges of k compatible with each axis: [i1-band, i2+band] etc.
+    const index_t klo = std::max(i1 - band, j1 - band);
+    const index_t khi = std::min(i2 + band, j2 + band);
+    return std::max(k1, klo) <= std::min(k2, khi);
+  }
+  index_t next_k(index_t i, index_t j, index_t k) const {
+    // Valid k interval for cell (i, j):
+    const index_t lo = std::max(i - band, j - band);
+    const index_t hi = std::min({i + band, j + band, n - 1});
+    index_t nk = std::max(k + 1, lo);
+    return nk <= hi ? nk : kNoNextK;
+  }
+};
+
+// Arbitrary predicate Σ_G. intersects_box is conservatively true (the
+// engines stay correct, just without pruning) and next_k scans, so this
+// is the "full generality" escape hatch used by tests and by C-GEP on
+// irregular update sets.
+template <class Pred>
+struct PredicateSet {
+  index_t n = 0;
+  Pred pred;  // bool(i, j, k)
+
+  bool contains(index_t i, index_t j, index_t k) const { return pred(i, j, k); }
+  bool intersects_box(index_t, index_t, index_t, index_t, index_t,
+                      index_t) const {
+    return true;
+  }
+  index_t next_k(index_t i, index_t j, index_t k) const {
+    for (index_t kk = k + 1; kk < n; ++kk) {
+      if (pred(i, j, kk)) return kk;
+    }
+    return kNoNextK;
+  }
+};
+
+template <class Pred>
+PredicateSet<Pred> make_predicate_set(index_t n, Pred pred) {
+  return PredicateSet<Pred>{n, std::move(pred)};
+}
+
+// τ_ij(l): largest k' <= l with <i,j,k'> in Σ, or -1 ("initial state")
+// when no such update exists. (Paper Definition 2.3, 0-based.) Computed
+// by scanning; used by tests, not by the engines.
+template <UpdateSet S>
+index_t tau(const S& sigma, index_t i, index_t j, index_t l) {
+  for (index_t k = l; k >= 0; --k) {
+    if (sigma.contains(i, j, k)) return k;
+  }
+  return -1;
+}
+
+}  // namespace gep

@@ -1,0 +1,186 @@
+// Dense matrix storage and views.
+//
+// Matrix<T> owns an aligned row-major buffer; MatrixView<T> is a
+// non-owning strided window used by the recursive GEP engines for
+// quadrant decomposition (no copies, just pointer arithmetic).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+#include "util/aligned.hpp"
+
+namespace gep {
+
+using index_t = std::int64_t;
+
+template <class T>
+class MatrixView;
+
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  // Uninitialized rows x cols matrix.
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        data_(make_aligned<T>(static_cast<std::size_t>(rows * cols))) {}
+
+  Matrix(index_t rows, index_t cols, T fill) : Matrix(rows, cols) {
+    for (index_t i = 0; i < rows * cols; ++i) data_[i] = fill;
+  }
+
+  Matrix(const Matrix& other) : Matrix(other.rows_, other.cols_) {
+    for (index_t i = 0; i < rows_ * cols_; ++i) data_[i] = other.data_[i];
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      Matrix tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t size() const { return rows_ * cols_; }
+
+  T& operator()(index_t i, index_t j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+
+  void fill(T v) {
+    for (index_t i = 0; i < rows_ * cols_; ++i) data_[i] = v;
+  }
+
+  MatrixView<T> view();
+  MatrixView<const T> view() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  AlignedPtr<T> data_;
+};
+
+// Non-owning strided window into a row-major buffer.
+template <class T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, index_t rows, index_t cols, index_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {}
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t stride() const { return stride_; }
+  T* data() const { return data_; }
+
+  T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * stride_ + j];
+  }
+
+  // Sub-window starting at (r0, c0) with the given extent.
+  MatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) const {
+    assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
+    return MatrixView(data_ + r0 * stride_ + c0, nr, nc, stride_);
+  }
+
+  // Quadrants of a square even-sized view (the I-GEP decomposition).
+  MatrixView q11() const { return block(0, 0, rows_ / 2, cols_ / 2); }
+  MatrixView q12() const { return block(0, cols_ / 2, rows_ / 2, cols_ / 2); }
+  MatrixView q21() const { return block(rows_ / 2, 0, rows_ / 2, cols_ / 2); }
+  MatrixView q22() const {
+    return block(rows_ / 2, cols_ / 2, rows_ / 2, cols_ / 2);
+  }
+
+  operator MatrixView<const T>() const {
+    return MatrixView<const T>(data_, rows_, cols_, stride_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t stride_ = 0;
+};
+
+template <class T>
+MatrixView<T> Matrix<T>::view() {
+  return MatrixView<T>(data_.get(), rows_, cols_, cols_);
+}
+
+template <class T>
+MatrixView<const T> Matrix<T>::view() const {
+  return MatrixView<const T>(data_.get(), rows_, cols_, cols_);
+}
+
+// True when every element differs by at most `tol` (exact for tol = 0).
+template <class T>
+bool approx_equal(const Matrix<T>& a, const Matrix<T>& b, T tol = T{}) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      T d = a(i, j) - b(i, j);
+      if (d < T{}) d = -d;
+      if (d > tol) return false;
+    }
+  }
+  return true;
+}
+
+// Largest absolute element-wise difference.
+template <class T>
+T max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  T worst{};
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      T d = a(i, j) - b(i, j);
+      if (d < T{}) d = -d;
+      if (d > worst) worst = d;
+    }
+  }
+  return worst;
+}
+
+inline index_t next_pow2(index_t n) {
+  index_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+inline bool is_pow2(index_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+// Embeds `m` into a pow2-sized matrix filled with `fill` outside.
+template <class T>
+Matrix<T> pad_to_pow2(const Matrix<T>& m, T fill) {
+  index_t n = next_pow2(std::max(m.rows(), m.cols()));
+  Matrix<T> out(n, n, fill);
+  for (index_t i = 0; i < m.rows(); ++i)
+    for (index_t j = 0; j < m.cols(); ++j) out(i, j) = m(i, j);
+  return out;
+}
+
+// Extracts the top-left rows x cols corner (inverse of pad_to_pow2).
+template <class T>
+Matrix<T> unpad(const Matrix<T>& m, index_t rows, index_t cols) {
+  Matrix<T> out(rows, cols);
+  for (index_t i = 0; i < rows; ++i)
+    for (index_t j = 0; j < cols; ++j) out(i, j) = m(i, j);
+  return out;
+}
+
+}  // namespace gep

@@ -1,0 +1,67 @@
+// Fork-join DAG construction and p-processor schedule simulation.
+//
+// The host running this reproduction may have fewer cores than the
+// paper's 8-processor Opteron 850, so in addition to the real pthreads
+// execution we reproduce Figure 12's speedup curves with a scheduler
+// simulation: the exact series-parallel DAG of multithreaded I-GEP
+// (Fig. 6) is built with leaf costs equal to the update counts of each
+// base-case box, then executed by a greedy list scheduler with p virtual
+// processors. T(1) equals the work; T(p) is the makespan. This is the
+// machine model Theorem 3.1 analyzes (T1/p + T∞), and the *relative*
+// parallelism of MM vs FW vs GE — the content of Fig. 12 — is a
+// structural property of the DAG, not of the silicon.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+
+namespace gep {
+
+// Series-parallel task tree: a node is either a leaf with a cost, or a
+// series of stages, each stage a list of parallel children.
+struct SPNode {
+  double cost = 0;  // leaf cost (update count); ignored for inner nodes
+  int leaf_id = -1; // index into the box list (leaves only; -1 otherwise)
+  std::vector<std::vector<SPNode>> stages;
+
+  bool is_leaf() const { return stages.empty(); }
+};
+
+enum class DagProblem { FloydWarshall, Gaussian, LU, MatMul };
+
+// One base-case box of the recursion (element-index coordinates).
+struct LeafBox {
+  index_t i0, j0, k0, m;
+};
+
+// Builds the multithreaded I-GEP DAG for an n x n problem with the given
+// base size (n, base powers of two, base <= n). When `boxes` is non-null
+// it receives the leaf boxes; SPNode::leaf_id indexes into it.
+SPNode build_igep_dag(DagProblem prob, index_t n, index_t base,
+                      std::vector<LeafBox>* boxes = nullptr);
+
+// One leaf execution in a simulated p-processor greedy schedule.
+struct ScheduledLeaf {
+  int leaf_id;   // index into the box list
+  int proc;      // virtual processor that ran it
+  double start;  // start time in the simulation
+};
+
+// Greedy schedule (same policy as dag_makespan) returning the leaf
+// executions ordered by start time — input for the shared/distributed
+// cache replays of the Lemma 3.1/3.2 experiments.
+std::vector<ScheduledLeaf> dag_schedule(const SPNode& root, int p);
+
+// Total work (sum of leaf costs).
+double dag_work(const SPNode& root);
+
+// Critical path length (infinite processors).
+double dag_span(const SPNode& root);
+
+// Greedy list-scheduling makespan with p processors (PDF dispatch:
+// ready tasks run in sequential-DFS priority order; non-preemptive).
+double dag_makespan(const SPNode& root, int p);
+
+}  // namespace gep

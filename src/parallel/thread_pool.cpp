@@ -1,0 +1,73 @@
+#include "parallel/thread_pool.hpp"
+
+namespace gep {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  for (int t = 0; t + 1 < threads_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::push(Task t) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(t));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  Task t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    t = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  t.fn();
+  t.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task t;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      t = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    t.fn();
+    t.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  if (pool_ == nullptr || pool_->threads() <= 1) {
+    fn();
+    return;
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->push(ThreadPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::wait() {
+  if (pool_ == nullptr) return;
+  // Help: drain queued tasks (any group's) while our forks are in flight.
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (!pool_->try_run_one()) std::this_thread::yield();
+  }
+}
+
+}  // namespace gep

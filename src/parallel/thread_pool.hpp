@@ -1,0 +1,102 @@
+// Fork-join runtime for multithreaded I-GEP.
+//
+// The paper parallelizes I-GEP with pthreads; we provide the same model
+// as a small fork-join pool: TaskGroup::run() forks a task, wait() joins
+// by *helping* (the waiting thread executes queued tasks instead of
+// blocking), so deeply nested parallel recursion neither deadlocks nor
+// idles cores. ParInvoker adapts the pool to the typed I-GEP engine's
+// Invoker concept (gep/typed.hpp): the last callable of each parallel
+// stage runs inline, the rest are forked.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gep {
+
+class TaskGroup;
+
+class ThreadPool {
+ public:
+  // Spawns `threads - 1` workers (the caller is the remaining thread).
+  // threads <= 1 means fully inline execution.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+ private:
+  friend class TaskGroup;
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  void push(Task t);
+  // Pops and runs one queued task; returns false if the queue was empty.
+  bool try_run_one();
+  void worker_loop();
+
+  int threads_;
+  std::vector<std::thread> workers_;
+  std::deque<Task> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// One fork-join scope. Not reusable across threads other than through
+// run(); wait() must be called before destruction.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { wait(); }
+
+  // Forks fn (runs inline when the pool is absent or single-threaded).
+  void run(std::function<void()> fn);
+
+  // Blocks until every task forked from this group has finished,
+  // executing queued work (from any group) while waiting.
+  void wait();
+
+ private:
+  friend class ThreadPool;
+  ThreadPool* pool_;
+  std::atomic<long> pending_{0};
+};
+
+// Invoker over a pool; satisfies the typed I-GEP engine's concept.
+struct ParInvoker {
+  ThreadPool* pool = nullptr;  // nullptr: sequential
+
+  template <class... Fs>
+  void invoke(Fs&&... fs) {
+    if (pool == nullptr || pool->threads() <= 1) {
+      (static_cast<Fs&&>(fs)(), ...);
+      return;
+    }
+    TaskGroup g(pool);
+    fork_all_but_last(g, static_cast<Fs&&>(fs)...);
+    g.wait();
+  }
+
+ private:
+  template <class F>
+  void fork_all_but_last(TaskGroup&, F&& last) {
+    static_cast<F&&>(last)();  // run the final callable inline
+  }
+  template <class F, class... Rest>
+  void fork_all_but_last(TaskGroup& g, F&& first, Rest&&... rest) {
+    g.run(std::function<void()>(static_cast<F&&>(first)));
+    fork_all_but_last(g, static_cast<Rest&&>(rest)...);
+  }
+};
+
+}  // namespace gep

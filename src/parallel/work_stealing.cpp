@@ -1,0 +1,115 @@
+#include "parallel/work_stealing.hpp"
+
+namespace gep {
+namespace {
+
+// Which worker of which pool the current thread is (set by worker_loop).
+thread_local const WorkStealingPool* tls_pool = nullptr;
+thread_local int tls_id = -1;
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(int threads)
+    : threads_(threads < 1 ? 1 : threads) {
+  for (int d = 0; d < threads_; ++d) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  for (int t = 0; t + 1 < threads_; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t + 1); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  stop_.store(true);
+  sleep_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int WorkStealingPool::self_id() const {
+  return (tls_pool == this) ? tls_id : 0;  // external threads use deque 0
+}
+
+void WorkStealingPool::push(Task t) {
+  Deque& d = *deques_[static_cast<std::size_t>(self_id())];
+  {
+    std::lock_guard<std::mutex> lock(d.mu);
+    d.q.push_back(std::move(t));
+  }
+  pending_tasks_.fetch_add(1, std::memory_order_release);
+  sleep_cv_.notify_one();
+}
+
+bool WorkStealingPool::try_run_one() {
+  const int me = self_id();
+  Task task;
+  bool got = false;
+  // 1. Own deque, back (LIFO: sequential-order locality).
+  {
+    Deque& d = *deques_[static_cast<std::size_t>(me)];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (!d.q.empty()) {
+      task = std::move(d.q.back());
+      d.q.pop_back();
+      got = true;
+    }
+  }
+  // 2. Steal from a random victim's front (oldest = biggest subtree).
+  if (!got) {
+    static thread_local SplitMix64 rng(
+        0x9e3779b97f4a7c15ULL ^
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    const int start = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(threads_)));
+    for (int off = 0; off < threads_ && !got; ++off) {
+      const int victim = (start + off) % threads_;
+      if (victim == me) continue;
+      Deque& d = *deques_[static_cast<std::size_t>(victim)];
+      std::lock_guard<std::mutex> lock(d.mu);
+      if (!d.q.empty()) {
+        task = std::move(d.q.front());
+        d.q.pop_front();
+        got = true;
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (!got) return false;
+  pending_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+  task.fn();
+  task.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+void WorkStealingPool::worker_loop(int id) {
+  tls_pool = this;
+  tls_id = id;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!try_run_one()) {
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               pending_tasks_.load(std::memory_order_acquire) > 0;
+      });
+    }
+  }
+  tls_pool = nullptr;
+  tls_id = -1;
+}
+
+void WsTaskGroup::run(std::function<void()> fn) {
+  if (pool_ == nullptr || pool_->threads() <= 1) {
+    fn();
+    return;
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->push(WorkStealingPool::Task{std::move(fn), this});
+}
+
+void WsTaskGroup::wait() {
+  if (pool_ == nullptr) return;
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (!pool_->try_run_one()) std::this_thread::yield();
+  }
+}
+
+}  // namespace gep

@@ -1,0 +1,113 @@
+// Work-stealing fork-join pool — the Cilk-style scheduler whose caching
+// behaviour Lemma 3.1(a) analyzes.
+//
+// Each worker owns a deque: it pushes and pops forked tasks at the back
+// (LIFO, preserving the sequential order's locality — the property the
+// lemma's bound rests on) and steals from the FRONT of a random victim
+// when empty (stealing the oldest, largest-granularity work). The
+// central-queue ThreadPool (thread_pool.hpp) is the simpler alternative;
+// both satisfy the same fork-join interface, so the typed I-GEP engine
+// runs on either (see WsParInvoker).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace gep {
+
+class WsTaskGroup;
+
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(int threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Total successful steals (for the scheduler-behaviour tests; the
+  // work-stealing bound charges cache misses to steals).
+  long steal_count() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class WsTaskGroup;
+  struct Task {
+    std::function<void()> fn;
+    WsTaskGroup* group;
+  };
+  struct Deque {
+    std::deque<Task> q;
+    std::mutex mu;
+  };
+
+  // Pushes to the calling worker's deque (or deque 0 from outside).
+  void push(Task t);
+  // Pops own back, else steals a victim's front. False when all empty.
+  bool try_run_one();
+  void worker_loop(int id);
+  int self_id() const;
+
+  int threads_;
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<long> pending_tasks_{0};
+  std::atomic<long> steals_{0};
+  std::atomic<bool> stop_{false};
+};
+
+// Fork-join scope on a WorkStealingPool; wait() helps by running tasks.
+class WsTaskGroup {
+ public:
+  explicit WsTaskGroup(WorkStealingPool* pool) : pool_(pool) {}
+  ~WsTaskGroup() { wait(); }
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  friend class WorkStealingPool;
+  WorkStealingPool* pool_;
+  std::atomic<long> pending_{0};
+};
+
+// Invoker over a work-stealing pool (typed I-GEP engine concept).
+struct WsParInvoker {
+  WorkStealingPool* pool = nullptr;
+
+  template <class... Fs>
+  void invoke(Fs&&... fs) {
+    if (pool == nullptr || pool->threads() <= 1) {
+      (static_cast<Fs&&>(fs)(), ...);
+      return;
+    }
+    WsTaskGroup g(pool);
+    fork_all_but_last(g, static_cast<Fs&&>(fs)...);
+    g.wait();
+  }
+
+ private:
+  template <class F>
+  void fork_all_but_last(WsTaskGroup&, F&& last) {
+    static_cast<F&&>(last)();
+  }
+  template <class F, class... Rest>
+  void fork_all_but_last(WsTaskGroup& g, F&& first, Rest&&... rest) {
+    g.run(std::function<void()>(static_cast<F&&>(first)));
+    fork_all_but_last(g, static_cast<Rest&&>(rest)...);
+  }
+};
+
+}  // namespace gep

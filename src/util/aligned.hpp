@@ -1,0 +1,45 @@
+// Aligned heap buffers for matrix storage.
+//
+// Cache-line / SIMD-width alignment keeps base-case kernels on their fast
+// path and makes simulated cache-block boundaries match real ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace gep {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Allocates `count` objects of T aligned to `alignment` bytes.
+// Returned memory is value-initialized only for trivially constructible T.
+template <class T>
+T* aligned_new(std::size_t count, std::size_t alignment = kCacheLineBytes) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "aligned buffers hold trivially destructible types only");
+  if (count == 0) return nullptr;
+  std::size_t bytes = count * sizeof(T);
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  bytes = (bytes + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, bytes);
+  if (p == nullptr) throw std::bad_alloc{};
+  return static_cast<T*>(p);
+}
+
+struct AlignedDeleter {
+  void operator()(void* p) const noexcept { std::free(p); }
+};
+
+template <class T>
+using AlignedPtr = std::unique_ptr<T[], AlignedDeleter>;
+
+// RAII aligned buffer of `count` T, uninitialized.
+template <class T>
+AlignedPtr<T> make_aligned(std::size_t count,
+                           std::size_t alignment = kCacheLineBytes) {
+  return AlignedPtr<T>(aligned_new<T>(count, alignment));
+}
+
+}  // namespace gep

@@ -1,0 +1,89 @@
+#include "util/cpuinfo.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace gep {
+namespace {
+
+std::string read_first_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in) std::getline(in, line);
+  return line;
+}
+
+// Parses strings like "32K", "1024K", "8M" from sysfs cache size files.
+std::size_t parse_size(const std::string& s) {
+  if (s.empty()) return 0;
+  std::size_t value = 0;
+  std::size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(s[i] - '0');
+    ++i;
+  }
+  if (i < s.size()) {
+    if (s[i] == 'K' || s[i] == 'k') value *= 1024;
+    if (s[i] == 'M' || s[i] == 'm') value *= 1024 * 1024;
+  }
+  return value;
+}
+
+}  // namespace
+
+CacheLevel CpuInfo::level(int lvl) const {
+  for (const auto& c : caches) {
+    if (c.level == lvl && c.type != "Instruction") return c;
+  }
+  return CacheLevel{};
+}
+
+std::string CpuInfo::summary() const {
+  std::ostringstream out;
+  out << (model_name.empty() ? "unknown CPU" : model_name) << ", "
+      << logical_cpus << " logical CPU(s)";
+  for (const auto& c : caches) {
+    if (c.type == "Instruction") continue;
+    out << ", L" << c.level << "=" << (c.size_bytes >> 10) << "K";
+    if (c.associativity > 0) out << "/" << c.associativity << "w";
+    if (c.line_bytes > 0) out << "/B=" << c.line_bytes;
+  }
+  return out.str();
+}
+
+CpuInfo query_cpu_info() {
+  CpuInfo info;
+  info.logical_cpus =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (cpuinfo && std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      auto pos = line.find(':');
+      if (pos != std::string::npos && pos + 2 <= line.size()) {
+        info.model_name = line.substr(pos + 2);
+      }
+      break;
+    }
+  }
+
+  for (int idx = 0; idx < 8; ++idx) {
+    std::string base =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(idx) + "/";
+    std::string lvl = read_first_line(base + "level");
+    if (lvl.empty()) break;
+    CacheLevel c;
+    c.level = std::stoi(lvl);
+    c.type = read_first_line(base + "type");
+    c.size_bytes = parse_size(read_first_line(base + "size"));
+    c.line_bytes = parse_size(read_first_line(base + "coherency_line_size"));
+    std::string ways = read_first_line(base + "ways_of_associativity");
+    if (!ways.empty()) c.associativity = std::stoi(ways);
+    info.caches.push_back(c);
+  }
+  return info;
+}
+
+}  // namespace gep

@@ -1,0 +1,38 @@
+// Host introspection: CPU model, core count, cache geometry.
+//
+// The paper's Table 2 lists the machines used for its experiments; every
+// bench binary prints the equivalent row for the host it runs on so that
+// EXPERIMENTS.md can record paper-vs-measured context.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gep {
+
+struct CacheLevel {
+  int level = 0;            // 1, 2, 3...
+  std::string type;         // "Data", "Instruction", "Unified"
+  std::size_t size_bytes = 0;
+  std::size_t line_bytes = 0;
+  int associativity = 0;    // 0 when unknown / fully associative
+};
+
+struct CpuInfo {
+  std::string model_name;
+  int logical_cpus = 1;
+  std::vector<CacheLevel> caches;
+
+  // First data/unified cache at the given level, or a zeroed default.
+  CacheLevel level(int lvl) const;
+
+  // One-line human readable summary (model, cores, cache sizes).
+  std::string summary() const;
+};
+
+// Reads /proc/cpuinfo and /sys/devices/system/cpu/cpu0/cache.
+// Missing information is left defaulted; never throws.
+CpuInfo query_cpu_info();
+
+}  // namespace gep

@@ -1,0 +1,36 @@
+#include "util/matrix_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+
+namespace gep {
+
+std::optional<Matrix<double>> read_matrix_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  index_t rows = 0, cols = 0;
+  if (!(in >> rows >> cols) || rows <= 0 || cols <= 0) return std::nullopt;
+  Matrix<double> m(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) {
+      if (!(in >> m(i, j))) return std::nullopt;
+    }
+  }
+  return m;
+}
+
+bool write_matrix_file(const std::string& path, const Matrix<double>& m) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << m.rows() << " " << m.cols() << "\n";
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (index_t j = 0; j < m.cols(); ++j) {
+      out << m(i, j) << (j + 1 == m.cols() ? '\n' : ' ');
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace gep

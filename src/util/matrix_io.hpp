@@ -1,0 +1,21 @@
+// Plain-text matrix file I/O.
+//
+// Format: a header line "rows cols" followed by rows x cols
+// whitespace-separated values. Used by the gep_tool CLI and handy for
+// shuttling instances between runs; full precision round-trips.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "matrix/matrix.hpp"
+
+namespace gep {
+
+// Reads a matrix; returns nullopt on missing file or malformed content.
+std::optional<Matrix<double>> read_matrix_file(const std::string& path);
+
+// Writes with round-trip-exact precision. Returns false on I/O failure.
+bool write_matrix_file(const std::string& path, const Matrix<double>& m);
+
+}  // namespace gep

@@ -1,0 +1,45 @@
+// Small deterministic PRNGs for workload generation and property tests.
+//
+// Benchmarks and tests must be reproducible across runs and machines, so we
+// avoid std::random_device / unseeded engines and use explicit-seed
+// SplitMix64 (for streams of 64-bit values) everywhere.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gep {
+
+// SplitMix64: tiny, fast, passes BigCrush; ideal for reproducible workloads.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  // Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gep

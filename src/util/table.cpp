@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gep {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string Table::integer(long long v) { return std::to_string(v); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&] {
+    for (auto w : width) out << "+" << std::string(w + 2, '-');
+    out << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << "| " << std::setw(static_cast<int>(width[c])) << cell << " ";
+    }
+    out << "|\n";
+  };
+  line();
+  emit(headers_);
+  line();
+  for (const auto& row : rows_) emit(row);
+  line();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace gep

@@ -1,0 +1,36 @@
+// Fixed-width console tables + CSV emission for benchmark output.
+//
+// Every bench binary prints the rows of the paper figure/table it
+// regenerates; Table writes an aligned console rendering and can mirror
+// the same rows into a CSV file for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gep {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; each cell is preformatted text. Row width may be shorter
+  // than the header row (missing cells render empty).
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+  void print(std::ostream& out) const;
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gep

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "matrix/matrix.hpp"
+#include "util/prng.hpp"
+
+namespace gep {
+namespace {
+
+TEST(Matrix, FillAndIndex) {
+  Matrix<double> m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 1.5);
+  m(2, 3) = -1;
+  EXPECT_EQ(m(2, 3), -1);
+  EXPECT_EQ(m.data()[2 * 4 + 3], -1);
+}
+
+TEST(Matrix, CopyIsDeep) {
+  Matrix<double> a(2, 2, 0.0);
+  Matrix<double> b(a);
+  b(0, 0) = 9;
+  EXPECT_EQ(a(0, 0), 0.0);
+  a = b;
+  EXPECT_EQ(a(0, 0), 9.0);
+  a(1, 1) = 5;
+  EXPECT_EQ(b(1, 1), 0.0);
+}
+
+TEST(Matrix, MoveTransfersStorage) {
+  Matrix<double> a(4, 4, 2.0);
+  double* p = a.data();
+  Matrix<double> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b(3, 3), 2.0);
+}
+
+TEST(MatrixView, QuadrantsPartitionSquare) {
+  Matrix<int> m(4, 4);
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 4; ++j) m(i, j) = static_cast<int>(10 * i + j);
+  auto v = m.view();
+  EXPECT_EQ(v.q11()(0, 0), 0);
+  EXPECT_EQ(v.q12()(0, 0), 2);
+  EXPECT_EQ(v.q21()(0, 0), 20);
+  EXPECT_EQ(v.q22()(0, 0), 22);
+  EXPECT_EQ(v.q22()(1, 1), 33);
+  EXPECT_EQ(v.q12().stride(), 4);
+}
+
+TEST(MatrixView, NestedBlocksAddressCorrectly) {
+  Matrix<int> m(8, 8);
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 8; ++j) m(i, j) = static_cast<int>(i * 8 + j);
+  auto b = m.view().block(2, 3, 4, 4).block(1, 1, 2, 2);
+  EXPECT_EQ(b(0, 0), 3 * 8 + 4);
+  EXPECT_EQ(b(1, 1), 4 * 8 + 5);
+  b(0, 0) = -1;
+  EXPECT_EQ(m(3, 4), -1);
+}
+
+TEST(MatrixHelpers, Pow2Helpers) {
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(1000), 1024);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(MatrixHelpers, PadUnpadRoundTrip) {
+  SplitMix64 g(3);
+  Matrix<double> m(5, 7);
+  for (index_t i = 0; i < 5; ++i)
+    for (index_t j = 0; j < 7; ++j) m(i, j) = g.next_double();
+  Matrix<double> p = pad_to_pow2(m, -9.0);
+  EXPECT_EQ(p.rows(), 8);
+  EXPECT_EQ(p.cols(), 8);
+  EXPECT_EQ(p(7, 7), -9.0);
+  EXPECT_EQ(p(0, 6), m(0, 6));
+  Matrix<double> u = unpad(p, 5, 7);
+  EXPECT_TRUE(approx_equal(u, m));
+}
+
+TEST(MatrixHelpers, ApproxEqualAndMaxDiff) {
+  Matrix<double> a(2, 2, 1.0), b(2, 2, 1.0);
+  EXPECT_TRUE(approx_equal(a, b));
+  b(1, 0) = 1.25;
+  EXPECT_FALSE(approx_equal(a, b));
+  EXPECT_TRUE(approx_equal(a, b, 0.25));
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.25);
+}
+
+TEST(MatrixHelpers, ApproxEqualShapeMismatch) {
+  Matrix<double> a(2, 2, 0.0), b(2, 3, 0.0);
+  EXPECT_FALSE(approx_equal(a, b));
+}
+
+}  // namespace
+}  // namespace gep

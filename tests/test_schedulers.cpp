@@ -1,0 +1,154 @@
+// Scheduler tests: the Cilk-style work-stealing pool vs the central
+// queue pool — same fork-join semantics, same I-GEP results — plus the
+// matrix file I/O utility.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+
+#include "gep/typed.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_stealing.hpp"
+#include "util/matrix_io.hpp"
+#include "util/prng.hpp"
+
+namespace gep {
+namespace {
+
+TEST(WorkStealing, RunsAllTasks) {
+  WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  WsTaskGroup g(&pool);
+  for (int i = 0; i < 200; ++i) g.run([&] { count.fetch_add(1); });
+  g.wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(WorkStealing, NestedForkJoinTree) {
+  WorkStealingPool pool(4);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> rec = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    WsTaskGroup g(&pool);
+    g.run([&, depth] { rec(depth - 1); });
+    g.run([&, depth] { rec(depth - 1); });
+    g.wait();
+  };
+  rec(10);
+  EXPECT_EQ(leaves.load(), 1024);
+}
+
+TEST(WorkStealing, SingleThreadInline) {
+  WorkStealingPool pool(1);
+  int count = 0;
+  WsTaskGroup g(&pool);
+  for (int i = 0; i < 7; ++i) g.run([&] { ++count; });
+  g.wait();
+  EXPECT_EQ(count, 7);
+  EXPECT_EQ(pool.steal_count(), 0);
+}
+
+Matrix<double> random_dist(index_t n, std::uint64_t seed) {
+  SplitMix64 g(seed);
+  Matrix<double> m(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) m(i, j) = g.uniform(1.0, 50.0);
+    m(i, i) = 0.0;
+  }
+  return m;
+}
+
+class WsIGep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WsIGep, FloydWarshallMatchesSequential) {
+  const int threads = GetParam();
+  const index_t n = 128, bs = 16;
+  Matrix<double> init = random_dist(n, 5);
+  Matrix<double> seq = init, par = init;
+  SeqInvoker sinv;
+  RowMajorStore<double> sst{seq.data(), n, bs};
+  igep_floyd_warshall(sinv, sst, n, {bs});
+
+  WorkStealingPool pool(threads);
+  WsParInvoker pinv{&pool};
+  RowMajorStore<double> pst{par.data(), n, bs};
+  igep_floyd_warshall(pinv, pst, n, {bs});
+  EXPECT_TRUE(approx_equal(seq, par, 0.0)) << "threads=" << threads;
+}
+
+TEST_P(WsIGep, LUMatchesCentralQueuePool) {
+  const int threads = GetParam();
+  const index_t n = 128, bs = 16;
+  SplitMix64 g(8);
+  Matrix<double> init(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) init(i, j) = g.uniform(-1, 1);
+    init(i, i) += n + 2.0;
+  }
+  Matrix<double> a = init, b = init;
+  {
+    ThreadPool pool(threads);
+    ParInvoker inv{&pool};
+    RowMajorStore<double> st{a.data(), n, bs};
+    igep_lu(inv, st, n, {bs});
+  }
+  {
+    WorkStealingPool pool(threads);
+    WsParInvoker inv{&pool};
+    RowMajorStore<double> st{b.data(), n, bs};
+    igep_lu(inv, st, n, {bs});
+  }
+  EXPECT_TRUE(approx_equal(a, b, 0.0)) << "threads=" << threads;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, WsIGep, ::testing::Values(2, 4, 8));
+
+TEST(WorkStealing, StressManyGroups) {
+  WorkStealingPool pool(8);
+  std::atomic<long> hits{0};
+  for (int round = 0; round < 100; ++round) {
+    WsTaskGroup g(&pool);
+    for (int t = 0; t < 8; ++t) g.run([&] { hits.fetch_add(1); });
+    g.wait();
+  }
+  EXPECT_EQ(hits.load(), 800);
+}
+
+// --- Matrix file I/O ---------------------------------------------------------
+
+TEST(MatrixIo, RoundTripExact) {
+  SplitMix64 g(3);
+  Matrix<double> m(7, 5);
+  for (index_t i = 0; i < 7; ++i)
+    for (index_t j = 0; j < 5; ++j) m(i, j) = g.uniform(-1e6, 1e6) / 3.0;
+  std::string path = ::testing::TempDir() + "gep_mio_test.txt";
+  ASSERT_TRUE(write_matrix_file(path, m));
+  auto back = read_matrix_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(approx_equal(m, *back, 0.0));  // max_digits10 round-trips
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, MissingAndMalformedFiles) {
+  EXPECT_FALSE(read_matrix_file("does-not-exist-anywhere.txt").has_value());
+  std::string path = ::testing::TempDir() + "gep_mio_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "3 3\n1 2 3\n4 5\n";  // truncated
+  }
+  EXPECT_FALSE(read_matrix_file(path).has_value());
+  {
+    std::ofstream out(path);
+    out << "-2 4\n";  // bad dims
+  }
+  EXPECT_FALSE(read_matrix_file(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gep

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/simple_dp.hpp"
+#include "util/prng.hpp"
+
+namespace gep {
+namespace {
+
+using apps::simple_dp_iterative;
+using apps::simple_dp_recursive;
+
+Matrix<double> leaves(index_t n, std::uint64_t seed) {
+  SplitMix64 g(seed);
+  Matrix<double> d(n, n, 0.0);
+  for (index_t i = 0; i + 1 < n; ++i) d(i, i + 1) = g.uniform(0.0, 10.0);
+  return d;
+}
+
+// Polygon-triangulation-style weight.
+apps::DpWeightFn vertex_weight(index_t n, std::uint64_t seed) {
+  auto v = std::make_shared<std::vector<double>>(n);
+  SplitMix64 g(seed);
+  for (auto& x : *v) x = g.uniform(1.0, 3.0);
+  return [v](index_t i, index_t j) { return (*v)[i] * (*v)[j]; };
+}
+
+class SimpleDp : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(SimpleDp, RecursiveMatchesIterative) {
+  const index_t n = GetParam();
+  auto w = vertex_weight(n, 40 + static_cast<unsigned>(n));
+  Matrix<double> a = leaves(n, 41 + static_cast<unsigned>(n));
+  Matrix<double> b = a;
+  simple_dp_iterative(a, w);
+  simple_dp_recursive(b, w, {4});
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i + 1; j < n; ++j) {
+      ASSERT_NEAR(a(i, j), b(i, j), 1e-10) << "n=" << n << " @" << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimpleDp,
+                         ::testing::Values(2, 3, 4, 5, 8, 13, 16, 33, 64, 100));
+
+TEST(SimpleDp, BaseSizeInvariance) {
+  const index_t n = 40;
+  auto w = vertex_weight(n, 50);
+  Matrix<double> ref = leaves(n, 51);
+  Matrix<double> r0 = ref;
+  simple_dp_iterative(r0, w);
+  for (index_t base : {2, 3, 8, 16, 64}) {
+    Matrix<double> b = ref;
+    simple_dp_recursive(b, w, {base});
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = i + 1; j < n; ++j) {
+        ASSERT_NEAR(r0(i, j), b(i, j), 1e-10) << "base=" << base;
+      }
+    }
+  }
+}
+
+TEST(SimpleDp, MatrixChainKnownAnswer) {
+  // Matrix chain via polygon weights is a different DP; instead verify a
+  // hand-computed tiny instance of our DP form:
+  // n=4 vertices, leaves d01=1, d12=2, d23=3, w(i,j)=1.
+  Matrix<double> d(4, 4, 0.0);
+  d(0, 1) = 1;
+  d(1, 2) = 2;
+  d(2, 3) = 3;
+  auto w = [](index_t, index_t) { return 1.0; };
+  // d02 = w + d01+d12 = 4; d13 = w + d12+d23 = 6;
+  // d03 = w + min(d01+d13, d02+d23) = 1 + min(7, 7) = 8.
+  simple_dp_iterative(d, w);
+  EXPECT_DOUBLE_EQ(d(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(d(1, 3), 6.0);
+  EXPECT_DOUBLE_EQ(d(0, 3), 8.0);
+  Matrix<double> r(4, 4, 0.0);
+  r(0, 1) = 1;
+  r(1, 2) = 2;
+  r(2, 3) = 3;
+  simple_dp_recursive(r, w, {2});
+  EXPECT_DOUBLE_EQ(r(0, 3), 8.0);
+}
+
+TEST(SimpleDp, TinySizesNoOp) {
+  auto w = [](index_t, index_t) { return 0.0; };
+  Matrix<double> d1(1, 1, 0.0);
+  simple_dp_recursive(d1, w);
+  Matrix<double> d2(2, 2, 0.0);
+  d2(0, 1) = 5;
+  simple_dp_recursive(d2, w);
+  EXPECT_DOUBLE_EQ(d2(0, 1), 5.0);
+}
+
+}  // namespace
+}  // namespace gep

@@ -1,0 +1,203 @@
+// Programmatic verification of the paper's structural theorems.
+//
+// Theorem 2.1: Σ_F = Σ_G (same update set), each update applied exactly
+// once, and per-cell updates applied in increasing k.
+// Theorem 2.2: immediately before F applies <i,j,k>, the operands are in
+// states c_{k-1}(i,j), c_{π(j,k)}(i,k), c_{π(i,k)}(k,j), c_{δ(i,j,k)}(k,k).
+// Table 1 column G: the corresponding states under the iterative G.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "gep/igep.hpp"
+#include "gep/iterative.hpp"
+#include "gep/trace.hpp"
+#include "util/prng.hpp"
+
+namespace gep {
+namespace {
+
+using Triple = std::tuple<index_t, index_t, index_t>;
+
+template <UpdateSet S>
+std::set<Triple> sigma_as_set(const S& s, index_t n) {
+  std::set<Triple> out;
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      for (index_t k = 0; k < n; ++k)
+        if (s.contains(i, j, k)) out.insert({i, j, k});
+  return out;
+}
+
+template <UpdateSet S>
+void check_theorem21(const S& sigma, index_t n) {
+  Matrix<double> c(n, n, 1.0);
+  DirectAccess<double> acc(c.view());
+  UpdateLogHook hook;
+  run_igep(acc, MinPlusF{}, sigma, {1}, &hook);
+
+  // (a) Σ_F == Σ_G and (b) each update at most once.
+  std::set<Triple> seen;
+  for (const auto& u : hook.log) {
+    auto [it, fresh] = seen.insert({u.i, u.j, u.k});
+    (void)it;
+    EXPECT_TRUE(fresh) << "update applied twice: " << u.i << "," << u.j << ","
+                       << u.k;
+  }
+  EXPECT_EQ(seen, sigma_as_set(sigma, n));
+
+  // (c) increasing k per cell.
+  std::map<std::pair<index_t, index_t>, index_t> last;
+  for (const auto& u : hook.log) {
+    auto key = std::make_pair(u.i, u.j);
+    auto it = last.find(key);
+    if (it != last.end()) EXPECT_GT(u.k, it->second);
+    last[key] = u.k;
+  }
+}
+
+TEST(Theorem21, HoldsForFullSet) {
+  for (index_t n : {1, 2, 4, 8, 16}) check_theorem21(FullSet{n}, n);
+}
+
+TEST(Theorem21, HoldsForGaussianAndLUSets) {
+  for (index_t n : {2, 4, 8, 16}) {
+    check_theorem21(GaussianSet{n}, n);
+    check_theorem21(LUSet{n}, n);
+  }
+}
+
+TEST(Theorem21, HoldsForSparsePredicateSet) {
+  const index_t n = 16;
+  auto sigma = make_predicate_set(n, [](index_t i, index_t j, index_t k) {
+    return ((i * 31 + j * 17 + k * 7) % 5) < 2;
+  });
+  check_theorem21(sigma, n);
+}
+
+// --- π and δ sanity (Definition 2.2, brute force cross-check) -----------
+
+// Brute-force π: largest aligned subinterval [a,b] containing z, not x.
+index_t brute_pi(index_t x, index_t z, index_t n) {
+  if (x == z) return z - 1;
+  index_t best_b = -1, best_len = 0;
+  for (index_t r = 0; (index_t{1} << r) <= n; ++r) {
+    index_t len = index_t{1} << r;
+    index_t a = (z / len) * len;
+    index_t b = a + len - 1;
+    if (z >= a && z <= b && (x < a || x > b) && len > best_len) {
+      best_len = len;
+      best_b = b;
+    }
+  }
+  return best_b;
+}
+
+index_t brute_delta(index_t x, index_t y, index_t z, index_t n) {
+  if (x == z && y == z) return z - 1;
+  index_t best_b = -1, best_len = 0;
+  for (index_t r = 0; (index_t{1} << r) <= n; ++r) {
+    index_t len = index_t{1} << r;
+    index_t a = (z / len) * len;
+    index_t b = a + len - 1;
+    bool contains_xy = (x >= a && x <= b && y >= a && y <= b);
+    if (!contains_xy && len > best_len) {
+      best_len = len;
+      best_b = b;
+    }
+  }
+  return best_b;
+}
+
+TEST(PiDelta, MatchBruteForce) {
+  const index_t n = 32;
+  for (index_t x = 0; x < n; ++x) {
+    for (index_t z = 0; z < n; ++z) {
+      EXPECT_EQ(pi_func(x, z), brute_pi(x, z, n)) << x << "," << z;
+    }
+  }
+  SplitMix64 g(4);
+  for (int t = 0; t < 2000; ++t) {
+    index_t x = static_cast<index_t>(g.below(n));
+    index_t y = static_cast<index_t>(g.below(n));
+    index_t z = static_cast<index_t>(g.below(n));
+    EXPECT_EQ(delta_func(x, y, z), brute_delta(x, y, z, n))
+        << x << "," << y << "," << z;
+  }
+}
+
+// --- Theorem 2.2 ---------------------------------------------------------
+
+// State of cell equals c_l where l = last applied update's k. Theorem
+// 2.2's claim "operand is in state c_m" means: every update <·,·,k'> in Σ
+// with k' <= m applied, none with k' > m. Given per-cell increasing-k
+// order (Thm 2.1c), that is equivalent to last_k == tau(Σ, cell, m).
+template <UpdateSet S>
+void check_theorem22(const S& sigma, index_t n) {
+  Matrix<double> c(n, n, 1.0);
+  DirectAccess<double> acc(c.view());
+  long checked = 0;
+  auto verify = [&](index_t i, index_t j, index_t k, const auto& st) {
+    ++checked;
+    // c[i,j] in state c_{k-1}(i,j):
+    EXPECT_EQ(st.state_of(i, j), tau(sigma, i, j, k - 1));
+    // c[i,k] in state c_{π(j,k)}(i,k):
+    EXPECT_EQ(st.state_of(i, k), tau(sigma, i, k, pi_func(j, k)));
+    // c[k,j] in state c_{π(i,k)}(k,j):
+    EXPECT_EQ(st.state_of(k, j), tau(sigma, k, j, pi_func(i, k)));
+    // c[k,k] in state c_{δ(i,j,k)}(k,k):
+    EXPECT_EQ(st.state_of(k, k), tau(sigma, k, k, delta_func(i, j, k)));
+  };
+  StateTrackHook<decltype(verify)> hook(n, verify);
+  run_igep(acc, MinPlusF{}, sigma, {1}, &hook);
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Theorem22, HoldsForFullSet) {
+  for (index_t n : {2, 4, 8, 16}) check_theorem22(FullSet{n}, n);
+}
+
+TEST(Theorem22, HoldsForGaussianSet) {
+  for (index_t n : {4, 8, 16}) check_theorem22(GaussianSet{n}, n);
+}
+
+TEST(Theorem22, HoldsForLUSet) {
+  for (index_t n : {4, 8, 16}) check_theorem22(LUSet{n}, n);
+}
+
+// Table 1, column G: under the iterative G the operand states are
+// c_{k-1}(i,j), c_{k-[j<=k]}(i,k), c_{k-[i<=k]}(k,j),
+// c_{k-[(i<k) or (i=k and j<=k)]}(k,k)   (0-based: [P] is Iverson).
+TEST(Table1ColumnG, StatesUnderIterativeG) {
+  const index_t n = 8;
+  FullSet sigma{n};
+  Matrix<double> c(n, n, 1.0);
+  DirectAccess<double> acc(c.view());
+  auto verify = [&](index_t i, index_t j, index_t k, const auto& st) {
+    EXPECT_EQ(st.state_of(i, j), tau(sigma, i, j, k - 1));
+    EXPECT_EQ(st.state_of(i, k), tau(sigma, i, k, k - (j <= k ? 1 : 0)));
+    EXPECT_EQ(st.state_of(k, j), tau(sigma, k, j, k - (i <= k ? 1 : 0)));
+    index_t drop = (i < k || (i == k && j <= k)) ? 1 : 0;
+    EXPECT_EQ(st.state_of(k, k), tau(sigma, k, k, k - drop));
+  };
+  StateTrackHook<decltype(verify)> hook(n, verify);
+  run_gep(acc, MinPlusF{}, sigma, &hook);
+}
+
+// The paper's observation right after Table 1: for i,j < k the F-states
+// genuinely differ from the G-states (π(j,k) != k - [j<=k], etc.).
+TEST(Table1, FandGStatesDifferForSomeTriples) {
+  const index_t n = 8;
+  bool found = false;
+  for (index_t k = 0; k < n && !found; ++k) {
+    for (index_t j = 0; j < k && !found; ++j) {
+      if (pi_func(j, k) != k - 1) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace gep

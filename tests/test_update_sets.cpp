@@ -1,0 +1,126 @@
+// Property tests: every UpdateSet's intersects_box and next_k must be
+// consistent with brute-force evaluation of contains over the cube.
+#include <gtest/gtest.h>
+
+#include "gep/update_set.hpp"
+#include "util/prng.hpp"
+
+namespace gep {
+namespace {
+
+template <UpdateSet S>
+bool brute_intersects(const S& s, index_t i1, index_t i2, index_t j1,
+                      index_t j2, index_t k1, index_t k2) {
+  for (index_t i = i1; i <= i2; ++i)
+    for (index_t j = j1; j <= j2; ++j)
+      for (index_t k = k1; k <= k2; ++k)
+        if (s.contains(i, j, k)) return true;
+  return false;
+}
+
+template <UpdateSet S>
+index_t brute_next_k(const S& s, index_t n, index_t i, index_t j, index_t k) {
+  for (index_t kk = k + 1; kk < n; ++kk)
+    if (s.contains(i, j, kk)) return kk;
+  return kNoNextK;
+}
+
+// intersects_box may be conservative (never false negatives); for the
+// built-in closed-form sets we additionally require exactness.
+template <UpdateSet S>
+void check_boxes_exact(const S& s, index_t n, bool exact) {
+  SplitMix64 g(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    index_t i1 = static_cast<index_t>(g.below(static_cast<std::uint64_t>(n)));
+    index_t i2 = i1 + static_cast<index_t>(
+                          g.below(static_cast<std::uint64_t>(n - i1)));
+    index_t j1 = static_cast<index_t>(g.below(static_cast<std::uint64_t>(n)));
+    index_t j2 = j1 + static_cast<index_t>(
+                          g.below(static_cast<std::uint64_t>(n - j1)));
+    index_t k1 = static_cast<index_t>(g.below(static_cast<std::uint64_t>(n)));
+    index_t k2 = k1 + static_cast<index_t>(
+                          g.below(static_cast<std::uint64_t>(n - k1)));
+    bool brute = brute_intersects(s, i1, i2, j1, j2, k1, k2);
+    bool fast = s.intersects_box(i1, i2, j1, j2, k1, k2);
+    if (brute) EXPECT_TRUE(fast) << "false negative box";
+    if (exact && !brute) EXPECT_FALSE(fast) << "inexact box";
+  }
+}
+
+template <UpdateSet S>
+void check_next_k(const S& s, index_t n) {
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      for (index_t k = 0; k < n; ++k)
+        EXPECT_EQ(s.next_k(i, j, k), brute_next_k(s, n, i, j, k))
+            << i << "," << j << "," << k;
+}
+
+TEST(FullSet, ContainsEverything) {
+  FullSet s{8};
+  EXPECT_TRUE(s.contains(0, 0, 0));
+  EXPECT_TRUE(s.contains(7, 3, 5));
+  check_boxes_exact(s, 8, true);
+  check_next_k(s, 8);
+}
+
+TEST(GaussianSet, MatchesDefinition) {
+  GaussianSet s{8};
+  EXPECT_FALSE(s.contains(0, 0, 0));
+  EXPECT_FALSE(s.contains(1, 0, 0));  // j == k excluded
+  EXPECT_FALSE(s.contains(0, 1, 0));  // i == k excluded
+  EXPECT_TRUE(s.contains(1, 1, 0));
+  EXPECT_FALSE(s.contains(1, 1, 1));
+  check_boxes_exact(s, 8, true);
+  check_next_k(s, 8);
+}
+
+TEST(LUSet, MatchesDefinition) {
+  LUSet s{8};
+  EXPECT_TRUE(s.contains(1, 0, 0));   // j == k: multiplier update
+  EXPECT_FALSE(s.contains(0, 1, 0));  // i == k excluded
+  EXPECT_TRUE(s.contains(3, 3, 2));
+  EXPECT_FALSE(s.contains(2, 1, 2));
+  check_boxes_exact(s, 8, true);
+  check_next_k(s, 8);
+}
+
+TEST(PredicateSet, ConservativeBoxesExactNextK) {
+  auto s = make_predicate_set(8, [](index_t i, index_t j, index_t k) {
+    return (i + j + k) % 3 == 0;
+  });
+  check_boxes_exact(s, 8, false);
+  check_next_k(s, 8);
+}
+
+TEST(Tau, MatchesDefinition23) {
+  LUSet s{8};
+  // Updates on cell (4, 2): <4,2,k> needs k < 4 && k <= 2 -> k in {0,1,2}.
+  EXPECT_EQ(tau(s, 4, 2, 7), 2);
+  EXPECT_EQ(tau(s, 4, 2, 2), 2);
+  EXPECT_EQ(tau(s, 4, 2, 1), 1);
+  EXPECT_EQ(tau(s, 4, 2, 0), 0);
+  // Cell (0, 5): no update has k < 0.
+  EXPECT_EQ(tau(s, 0, 5, 7), -1);
+}
+
+TEST(Tau, ConsistentWithNextK) {
+  GaussianSet s{8};
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t j = 0; j < 8; ++j) {
+      for (index_t k = 0; k < 8; ++k) {
+        if (!s.contains(i, j, k)) continue;
+        for (index_t l : {i - 1, i, j - 1, j}) {
+          if (l < 0) continue;
+          // k == tau(l) iff k <= l and no later update is <= l.
+          bool direct = (tau(s, i, j, l) == k);
+          bool via_next = (k <= l && s.next_k(i, j, k) > l);
+          EXPECT_EQ(direct, via_next);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gep

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/aligned.hpp"
+#include "util/cpuinfo.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace gep {
+namespace {
+
+TEST(Aligned, ReturnsAlignedPointers) {
+  for (std::size_t count : {1u, 7u, 64u, 1000u}) {
+    auto p = make_aligned<double>(count);
+    ASSERT_NE(p.get(), nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p.get()) % kCacheLineBytes, 0u);
+  }
+}
+
+TEST(Aligned, ZeroCountGivesNull) {
+  auto p = make_aligned<double>(0);
+  EXPECT_EQ(p.get(), nullptr);
+}
+
+TEST(Prng, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, DoublesInUnitInterval) {
+  SplitMix64 g(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = g.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Prng, UniformRespectsBounds) {
+  SplitMix64 g(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = g.uniform(-3.0, 5.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(Prng, BelowRespectsBound) {
+  SplitMix64 g(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(g.below(17), 17u);
+}
+
+TEST(Timer, MeasuresForwardTime) {
+  WallTimer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1;
+  EXPECT_GE(t.seconds(), 0.0);
+  double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before + 1.0);
+}
+
+TEST(CpuInfo, SummaryNonEmptyAndNoThrow) {
+  CpuInfo info = query_cpu_info();
+  EXPECT_GE(info.logical_cpus, 1);
+  EXPECT_FALSE(info.summary().empty());
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.50"});
+  std::ostringstream out;
+  t.print(out);
+  std::string s = out.str();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::integer(-7), "-7");
+}
+
+TEST(Table, ShortRowsRenderEmptyCells) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gep
