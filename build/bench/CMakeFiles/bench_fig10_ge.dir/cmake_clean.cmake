@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ge.dir/bench_fig10_ge.cpp.o"
+  "CMakeFiles/bench_fig10_ge.dir/bench_fig10_ge.cpp.o.d"
+  "bench_fig10_ge"
+  "bench_fig10_ge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mm.dir/bench_fig11_mm.cpp.o"
+  "CMakeFiles/bench_fig11_mm.dir/bench_fig11_mm.cpp.o.d"
+  "bench_fig11_mm"
+  "bench_fig11_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

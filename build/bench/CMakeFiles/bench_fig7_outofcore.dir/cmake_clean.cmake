@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_outofcore.dir/bench_fig7_outofcore.cpp.o"
+  "CMakeFiles/bench_fig7_outofcore.dir/bench_fig7_outofcore.cpp.o.d"
+  "bench_fig7_outofcore"
+  "bench_fig7_outofcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cgep.dir/bench_fig9_cgep.cpp.o"
+  "CMakeFiles/bench_fig9_cgep.dir/bench_fig9_cgep.cpp.o.d"
+  "bench_fig9_cgep"
+  "bench_fig9_cgep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cgep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/circuit_solver.cpp" "examples/CMakeFiles/circuit_solver.dir/circuit_solver.cpp.o" "gcc" "examples/CMakeFiles/circuit_solver.dir/circuit_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gep_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gep_extmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gep_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gep_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gep_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_solver.dir/circuit_solver.cpp.o"
+  "CMakeFiles/circuit_solver.dir/circuit_solver.cpp.o.d"
+  "circuit_solver"
+  "circuit_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

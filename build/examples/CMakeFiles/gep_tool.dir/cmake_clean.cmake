@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gep_tool.dir/gep_tool.cpp.o"
+  "CMakeFiles/gep_tool.dir/gep_tool.cpp.o.d"
+  "gep_tool"
+  "gep_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gep_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

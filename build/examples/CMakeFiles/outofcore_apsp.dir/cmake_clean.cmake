@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outofcore_apsp.dir/outofcore_apsp.cpp.o"
+  "CMakeFiles/outofcore_apsp.dir/outofcore_apsp.cpp.o.d"
+  "outofcore_apsp"
+  "outofcore_apsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outofcore_apsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_mm.dir/parallel_mm.cpp.o"
+  "CMakeFiles/parallel_mm.dir/parallel_mm.cpp.o.d"
+  "parallel_mm"
+  "parallel_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

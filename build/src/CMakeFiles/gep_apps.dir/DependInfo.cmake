@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/floyd_warshall.cpp" "src/CMakeFiles/gep_apps.dir/apps/floyd_warshall.cpp.o" "gcc" "src/CMakeFiles/gep_apps.dir/apps/floyd_warshall.cpp.o.d"
+  "/root/repo/src/apps/gap_alignment.cpp" "src/CMakeFiles/gep_apps.dir/apps/gap_alignment.cpp.o" "gcc" "src/CMakeFiles/gep_apps.dir/apps/gap_alignment.cpp.o.d"
+  "/root/repo/src/apps/gaussian.cpp" "src/CMakeFiles/gep_apps.dir/apps/gaussian.cpp.o" "gcc" "src/CMakeFiles/gep_apps.dir/apps/gaussian.cpp.o.d"
+  "/root/repo/src/apps/linear_solver.cpp" "src/CMakeFiles/gep_apps.dir/apps/linear_solver.cpp.o" "gcc" "src/CMakeFiles/gep_apps.dir/apps/linear_solver.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/CMakeFiles/gep_apps.dir/apps/matmul.cpp.o" "gcc" "src/CMakeFiles/gep_apps.dir/apps/matmul.cpp.o.d"
+  "/root/repo/src/apps/paths.cpp" "src/CMakeFiles/gep_apps.dir/apps/paths.cpp.o" "gcc" "src/CMakeFiles/gep_apps.dir/apps/paths.cpp.o.d"
+  "/root/repo/src/apps/simple_dp.cpp" "src/CMakeFiles/gep_apps.dir/apps/simple_dp.cpp.o" "gcc" "src/CMakeFiles/gep_apps.dir/apps/simple_dp.cpp.o.d"
+  "/root/repo/src/apps/transitive_closure.cpp" "src/CMakeFiles/gep_apps.dir/apps/transitive_closure.cpp.o" "gcc" "src/CMakeFiles/gep_apps.dir/apps/transitive_closure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gep_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gep_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

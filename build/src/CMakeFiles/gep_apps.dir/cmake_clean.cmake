@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gep_apps.dir/apps/floyd_warshall.cpp.o"
+  "CMakeFiles/gep_apps.dir/apps/floyd_warshall.cpp.o.d"
+  "CMakeFiles/gep_apps.dir/apps/gap_alignment.cpp.o"
+  "CMakeFiles/gep_apps.dir/apps/gap_alignment.cpp.o.d"
+  "CMakeFiles/gep_apps.dir/apps/gaussian.cpp.o"
+  "CMakeFiles/gep_apps.dir/apps/gaussian.cpp.o.d"
+  "CMakeFiles/gep_apps.dir/apps/linear_solver.cpp.o"
+  "CMakeFiles/gep_apps.dir/apps/linear_solver.cpp.o.d"
+  "CMakeFiles/gep_apps.dir/apps/matmul.cpp.o"
+  "CMakeFiles/gep_apps.dir/apps/matmul.cpp.o.d"
+  "CMakeFiles/gep_apps.dir/apps/paths.cpp.o"
+  "CMakeFiles/gep_apps.dir/apps/paths.cpp.o.d"
+  "CMakeFiles/gep_apps.dir/apps/simple_dp.cpp.o"
+  "CMakeFiles/gep_apps.dir/apps/simple_dp.cpp.o.d"
+  "CMakeFiles/gep_apps.dir/apps/transitive_closure.cpp.o"
+  "CMakeFiles/gep_apps.dir/apps/transitive_closure.cpp.o.d"
+  "libgep_apps.a"
+  "libgep_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gep_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/dgemm.cpp" "src/CMakeFiles/gep_blas.dir/blas/dgemm.cpp.o" "gcc" "src/CMakeFiles/gep_blas.dir/blas/dgemm.cpp.o.d"
+  "/root/repo/src/blas/fw_tiled.cpp" "src/CMakeFiles/gep_blas.dir/blas/fw_tiled.cpp.o" "gcc" "src/CMakeFiles/gep_blas.dir/blas/fw_tiled.cpp.o.d"
+  "/root/repo/src/blas/lu_blocked.cpp" "src/CMakeFiles/gep_blas.dir/blas/lu_blocked.cpp.o" "gcc" "src/CMakeFiles/gep_blas.dir/blas/lu_blocked.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gep_blas.dir/blas/dgemm.cpp.o"
+  "CMakeFiles/gep_blas.dir/blas/dgemm.cpp.o.d"
+  "CMakeFiles/gep_blas.dir/blas/fw_tiled.cpp.o"
+  "CMakeFiles/gep_blas.dir/blas/fw_tiled.cpp.o.d"
+  "CMakeFiles/gep_blas.dir/blas/lu_blocked.cpp.o"
+  "CMakeFiles/gep_blas.dir/blas/lu_blocked.cpp.o.d"
+  "libgep_blas.a"
+  "libgep_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gep_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

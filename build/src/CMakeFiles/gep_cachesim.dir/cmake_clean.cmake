@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gep_cachesim.dir/cachesim/ideal_cache.cpp.o"
+  "CMakeFiles/gep_cachesim.dir/cachesim/ideal_cache.cpp.o.d"
+  "CMakeFiles/gep_cachesim.dir/cachesim/set_assoc_cache.cpp.o"
+  "CMakeFiles/gep_cachesim.dir/cachesim/set_assoc_cache.cpp.o.d"
+  "libgep_cachesim.a"
+  "libgep_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gep_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgep_cachesim.a"
+)

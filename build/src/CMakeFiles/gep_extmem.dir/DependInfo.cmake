@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extmem/block_file.cpp" "src/CMakeFiles/gep_extmem.dir/extmem/block_file.cpp.o" "gcc" "src/CMakeFiles/gep_extmem.dir/extmem/block_file.cpp.o.d"
+  "/root/repo/src/extmem/disk_model.cpp" "src/CMakeFiles/gep_extmem.dir/extmem/disk_model.cpp.o" "gcc" "src/CMakeFiles/gep_extmem.dir/extmem/disk_model.cpp.o.d"
+  "/root/repo/src/extmem/page_cache.cpp" "src/CMakeFiles/gep_extmem.dir/extmem/page_cache.cpp.o" "gcc" "src/CMakeFiles/gep_extmem.dir/extmem/page_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gep_extmem.dir/extmem/block_file.cpp.o"
+  "CMakeFiles/gep_extmem.dir/extmem/block_file.cpp.o.d"
+  "CMakeFiles/gep_extmem.dir/extmem/disk_model.cpp.o"
+  "CMakeFiles/gep_extmem.dir/extmem/disk_model.cpp.o.d"
+  "CMakeFiles/gep_extmem.dir/extmem/page_cache.cpp.o"
+  "CMakeFiles/gep_extmem.dir/extmem/page_cache.cpp.o.d"
+  "libgep_extmem.a"
+  "libgep_extmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gep_extmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

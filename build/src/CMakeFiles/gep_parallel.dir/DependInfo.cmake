@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/dag_sim.cpp" "src/CMakeFiles/gep_parallel.dir/parallel/dag_sim.cpp.o" "gcc" "src/CMakeFiles/gep_parallel.dir/parallel/dag_sim.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/gep_parallel.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gep_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/parallel/work_stealing.cpp" "src/CMakeFiles/gep_parallel.dir/parallel/work_stealing.cpp.o" "gcc" "src/CMakeFiles/gep_parallel.dir/parallel/work_stealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gep_parallel.dir/parallel/dag_sim.cpp.o"
+  "CMakeFiles/gep_parallel.dir/parallel/dag_sim.cpp.o.d"
+  "CMakeFiles/gep_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/gep_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "CMakeFiles/gep_parallel.dir/parallel/work_stealing.cpp.o"
+  "CMakeFiles/gep_parallel.dir/parallel/work_stealing.cpp.o.d"
+  "libgep_parallel.a"
+  "libgep_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gep_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gep_util.dir/util/cpuinfo.cpp.o"
+  "CMakeFiles/gep_util.dir/util/cpuinfo.cpp.o.d"
+  "CMakeFiles/gep_util.dir/util/matrix_io.cpp.o"
+  "CMakeFiles/gep_util.dir/util/matrix_io.cpp.o.d"
+  "CMakeFiles/gep_util.dir/util/peak.cpp.o"
+  "CMakeFiles/gep_util.dir/util/peak.cpp.o.d"
+  "CMakeFiles/gep_util.dir/util/table.cpp.o"
+  "CMakeFiles/gep_util.dir/util/table.cpp.o.d"
+  "libgep_util.a"
+  "libgep_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gep_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

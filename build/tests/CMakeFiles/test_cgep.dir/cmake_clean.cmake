@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cgep.dir/test_cgep.cpp.o"
+  "CMakeFiles/test_cgep.dir/test_cgep.cpp.o.d"
+  "test_cgep"
+  "test_cgep.pdb"
+  "test_cgep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cgep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

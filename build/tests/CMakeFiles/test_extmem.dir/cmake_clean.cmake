@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extmem.dir/test_extmem.cpp.o"
+  "CMakeFiles/test_extmem.dir/test_extmem.cpp.o.d"
+  "test_extmem"
+  "test_extmem.pdb"
+  "test_extmem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

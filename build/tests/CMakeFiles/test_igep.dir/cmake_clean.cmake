@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_igep.dir/test_igep.cpp.o"
+  "CMakeFiles/test_igep.dir/test_igep.cpp.o.d"
+  "test_igep"
+  "test_igep.pdb"
+  "test_igep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_igep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paths_solver.dir/test_paths_solver.cpp.o"
+  "CMakeFiles/test_paths_solver.dir/test_paths_solver.cpp.o.d"
+  "test_paths_solver"
+  "test_paths_solver.pdb"
+  "test_paths_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paths_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simple_dp.dir/test_simple_dp.cpp.o"
+  "CMakeFiles/test_simple_dp.dir/test_simple_dp.cpp.o.d"
+  "test_simple_dp"
+  "test_simple_dp.pdb"
+  "test_simple_dp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simple_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

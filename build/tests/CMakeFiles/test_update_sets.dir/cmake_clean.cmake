@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update_sets.dir/test_update_sets.cpp.o"
+  "CMakeFiles/test_update_sets.dir/test_update_sets.cpp.o.d"
+  "test_update_sets"
+  "test_update_sets.pdb"
+  "test_update_sets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

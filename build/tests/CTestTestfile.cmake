@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_update_sets[1]_include.cmake")
+include("/root/repo/build/tests/test_igep[1]_include.cmake")
+include("/root/repo/build/tests/test_cgep[1]_include.cmake")
+include("/root/repo/build/tests/test_theorems[1]_include.cmake")
+include("/root/repo/build/tests/test_typed[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_cachesim[1]_include.cmake")
+include("/root/repo/build/tests/test_extmem[1]_include.cmake")
+include("/root/repo/build/tests/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_simple_dp[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_paths_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_schedulers[1]_include.cmake")
+include("/root/repo/build/tests/test_value_types[1]_include.cmake")
