@@ -4,11 +4,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "matrix/matrix.hpp"
+#include "obs/obs.hpp"
 #include "util/cpuinfo.hpp"
 #include "util/peak.hpp"
 #include "util/prng.hpp"
@@ -62,6 +66,143 @@ inline Matrix<double> random_matrix(index_t n, std::uint64_t seed) {
     for (index_t j = 0; j < n; ++j) m(i, j) = g.uniform(-1.0, 1.0);
   return m;
 }
+
+// --- Machine-readable bench reports ---------------------------------------
+//
+// Every figure bench emits BENCH_<name>.json next to its human tables:
+// host banner, measured peak, per-run wall times and GFLOP/s, hardware
+// counters when perf_event_open is permitted, and a full snapshot of the
+// metrics registry (work-stealing steals, page-cache hits/misses,
+// simulated cachesim misses, typed-engine leaf counts, ...). CI uploads
+// these as artifacts; regression tooling diffs them across commits.
+
+struct BenchRun {
+  std::string label;
+  long long n = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double pct_peak = 0.0;
+  obs::HwSample hw;  // valid=false when counters were unavailable
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+class BenchReport {
+ public:
+  // `name` is the figure tag ("fig10_ge"); output file BENCH_<name>.json.
+  // Starts the recursion tracer when $GEP_OBS_TRACE is set (the trace is
+  // written by write()).
+  BenchReport(std::string name, double peak_gflops)
+      : name_(std::move(name)), peak_(peak_gflops) {
+    if (obs::Tracer::env_path() != nullptr) obs::Tracer::start();
+  }
+
+  void add(BenchRun r) { runs_.push_back(std::move(r)); }
+
+  // Convenience: time + record in one step. Returns the elapsed seconds.
+  template <class Fn>
+  double timed(const std::string& label, long long n, double flops, Fn&& fn) {
+    obs::HwCounters hw;
+    hw.start();
+    WallTimer t;
+    fn();
+    const double dt = t.seconds();
+    BenchRun r;
+    r.label = label;
+    r.n = n;
+    r.seconds = dt;
+    r.gflops = flops / dt / 1e9;
+    r.pct_peak = peak_ > 0 ? 100.0 * r.gflops / peak_ : 0.0;
+    r.hw = hw.stop();
+    add(std::move(r));
+    return dt;
+  }
+
+  // Attaches {key, value} to the most recently added run.
+  void annotate(const std::string& key, double v) {
+    if (!runs_.empty()) runs_.back().extra.emplace_back(key, v);
+  }
+
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) return false;
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.kv("bench", name_);
+    w.kv("unix_time", static_cast<std::int64_t>(std::time(nullptr)));
+    w.kv("gep_obs", obs::kEnabled);
+    w.kv("peak_gflops", peak_);
+    CpuInfo info = query_cpu_info();
+    w.key("host");
+    w.begin_object();
+    w.kv("model", info.model_name);
+    w.kv("logical_cpus", info.logical_cpus);
+    w.key("caches");
+    w.begin_array();
+    for (const CacheLevel& c : info.caches) {
+      w.begin_object();
+      w.kv("level", c.level);
+      w.kv("type", c.type);
+      w.kv("size_bytes", static_cast<std::uint64_t>(c.size_bytes));
+      w.kv("line_bytes", static_cast<std::uint64_t>(c.line_bytes));
+      w.kv("associativity", c.associativity);
+      w.end_object();
+    }
+    w.end_array();
+    w.kv("summary", info.summary());
+    w.end_object();
+    w.key("runs");
+    w.begin_array();
+    for (const BenchRun& r : runs_) {
+      w.begin_object();
+      w.kv("label", r.label);
+      w.kv("n", static_cast<std::int64_t>(r.n));
+      w.kv("seconds", r.seconds);
+      w.kv("gflops", r.gflops);
+      w.kv("pct_peak", r.pct_peak);
+      w.key("hw");
+      if (r.hw.valid) {
+        w.begin_object();
+        if (r.hw.has_cycles) w.kv("cycles", r.hw.cycles);
+        if (r.hw.has_instructions) w.kv("instructions", r.hw.instructions);
+        if (r.hw.has_l1d) w.kv("l1d_misses", r.hw.l1d_misses);
+        if (r.hw.has_llc) w.kv("llc_misses", r.hw.llc_misses);
+        if (r.hw.has_cycles && r.hw.has_instructions) w.kv("ipc", r.hw.ipc());
+        w.end_object();
+      } else {
+        w.null();  // perf_event_open unavailable (container/CI)
+      }
+      for (const auto& [k, v] : r.extra) w.kv(k, v);
+      w.end_object();
+    }
+    w.end_array();
+    // Registry snapshot: steals, page-cache traffic, simulated misses,
+    // typed-engine counters — whatever the run populated. Empty sections
+    // under GEP_OBS=0.
+    w.key("metrics");
+    w.raw(obs::snapshot_json());
+    if (const char* tp = obs::Tracer::env_path()) {
+      obs::Tracer::stop();
+      if (obs::Tracer::write_chrome_trace(tp)) {
+        w.kv("trace_file", tp);
+        w.kv("trace_events", static_cast<std::uint64_t>(
+                                 obs::Tracer::event_count()));
+        std::printf("trace: %zu span(s) -> %s (open in chrome://tracing)\n",
+                    obs::Tracer::event_count(), tp);
+      }
+    }
+    w.end_object();
+    os << '\n';
+    const bool ok = static_cast<bool>(os);
+    if (ok) std::printf("report: %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string name_;
+  double peak_;
+  std::vector<BenchRun> runs_;
+};
 
 // FLOP counts used for % of peak (2 flops per multiply-add, matching the
 // paper's "two double precision floating point operations per cycle").

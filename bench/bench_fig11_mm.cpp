@@ -109,17 +109,22 @@ int main() {
       small ? std::vector<index_t>{256, 512}
             : std::vector<index_t>{256, 512, 1024, 2048};
   const index_t base = 64;
+  bench::BenchReport report("fig11_mm", peak);
 
   Table table({"n", "GEP (s)", "I-GEP (s)", "I-GEP/Z (s)", "blocked (s)",
                "GEP %peak", "I-GEP %peak", "blocked %peak"});
   for (index_t n : sizes) {
     Matrix<double> a = bench::random_matrix(n, 1);
     Matrix<double> b = bench::random_matrix(n, 2);
-    double t_gep = time_engine(a, b, Engine::Iterative, base);
-    double t_igep = time_engine(a, b, Engine::IGep, base);
-    double t_igz = time_engine(a, b, Engine::IGepZ, base);
-    double t_blas = time_engine(a, b, Engine::Blocked, base);
     double fl = bench::flops_mm(n);
+    auto run = [&](const char* label, Engine e) {
+      return report.timed(label, n, fl,
+                          [&] { time_engine(a, b, e, base); });
+    };
+    double t_gep = run("GEP", Engine::Iterative);
+    double t_igep = run("I-GEP", Engine::IGep);
+    double t_igz = run("I-GEP/Z", Engine::IGepZ);
+    double t_blas = run("blocked", Engine::Blocked);
     auto pct = [&](double t) { return 100.0 * fl / t / 1e9 / peak; };
     table.add_row({Table::integer(n), Table::num(t_gep, 3),
                    Table::num(t_igep, 3), Table::num(t_igz, 3),
@@ -147,6 +152,14 @@ int main() {
           {Table::integer(n), name,
            Table::integer(static_cast<long long>(h.l1_stats().misses)),
            Table::integer(static_cast<long long>(h.l2_stats().misses))});
+      // Simulated Opteron-geometry misses into the registry + report.
+      h.publish_gauges(std::string("mm.") + name);
+      bench::BenchRun r;
+      r.label = std::string("sim:") + name;
+      r.n = n;
+      r.extra = {{"sim_l1_misses", static_cast<double>(h.l1_stats().misses)},
+                 {"sim_l2_misses", static_cast<double>(h.l2_stats().misses)}};
+      report.add(std::move(r));
     };
     run_traced("GEP", [&](TracedMutMat c, TracedMat ta, TracedMat tb) {
       traced_mm_gep(c, ta, tb, n);
@@ -189,5 +202,6 @@ int main() {
   std::printf(
       "\npaper: BLAS 78-83%% peak, I-GEP 50-56%%, GEP 9-13%%; I-GEP incurs\n"
       "fewer L1/L2 misses than BLAS but executes more instructions.\n");
+  report.write();
   return 0;
 }

@@ -27,8 +27,10 @@ using apps::Engine;
 }  // namespace
 
 int main() {
-  bench::print_host_banner("Figure 12: multithreaded I-GEP speedup");
+  double peak =
+      bench::print_host_banner("Figure 12: multithreaded I-GEP speedup");
   const bool small = bench::small_run();
+  bench::BenchReport report("fig12_parallel", peak);
   // n/base = 16 keeps the DAG coarse enough that span effects show at
   // p = 8 (with very fine DAGs greedy scheduling hides the differences
   // the paper measured; see EXPERIMENTS.md).
@@ -44,11 +46,17 @@ int main() {
   const double w_mm = dag_work(mm), w_fw = dag_work(fw), w_ge = dag_work(ge),
                w_lu = dag_work(lu);
   for (int p = 1; p <= 8; ++p) {
-    sim.add_row({Table::integer(p),
-                 Table::num(w_mm / dag_makespan(mm, p), 2),
-                 Table::num(w_fw / dag_makespan(fw, p), 2),
-                 Table::num(w_ge / dag_makespan(ge, p), 2),
-                 Table::num(w_lu / dag_makespan(lu, p), 2)});
+    const double s_mm = w_mm / dag_makespan(mm, p);
+    const double s_fw = w_fw / dag_makespan(fw, p);
+    const double s_ge = w_ge / dag_makespan(ge, p);
+    const double s_lu = w_lu / dag_makespan(lu, p);
+    sim.add_row({Table::integer(p), Table::num(s_mm, 2), Table::num(s_fw, 2),
+                 Table::num(s_ge, 2), Table::num(s_lu, 2)});
+    bench::BenchRun r;
+    r.label = "sim-speedup p=" + std::to_string(p);
+    r.n = n_sim;
+    r.extra = {{"mm", s_mm}, {"fw", s_fw}, {"ge", s_ge}, {"lu", s_lu}};
+    report.add(std::move(r));
   }
   std::printf("(a) DAG schedule simulation, n = %lld, base = %lld:\n",
               static_cast<long long>(n_sim), static_cast<long long>(base));
@@ -87,7 +95,24 @@ int main() {
     return t.seconds();
   };
 
+  const double fl_mm = bench::flops_mm(n_real);
+  const double fl_fw = bench::flops_fw(n_real);
+  const double fl_lu = bench::flops_lu(n_real);
+  auto record = [&](const char* kind, int p, double fl, double t,
+                    double t1) {
+    bench::BenchRun r;
+    r.label = std::string(kind) + " p=" + std::to_string(p);
+    r.n = n_real;
+    r.seconds = t;
+    r.gflops = fl / t / 1e9;
+    r.pct_peak = peak > 0 ? 100.0 * r.gflops / peak : 0.0;
+    r.extra = {{"threads", static_cast<double>(p)}, {"speedup", t1 / t}};
+    report.add(std::move(r));
+  };
   const double fw1 = time_fw(1), lu1 = time_lu(1), mm1 = time_mm(1);
+  record("MM", 1, fl_mm, mm1, mm1);
+  record("FW", 1, fl_fw, fw1, fw1);
+  record("LU", 1, fl_lu, lu1, lu1);
   Table real({"threads", "MM (s)", "MM speedup", "FW (s)", "FW speedup",
               "GE/LU (s)", "GE/LU speedup"});
   real.add_row({Table::integer(1), Table::num(mm1, 3), Table::num(1.0, 2),
@@ -95,6 +120,9 @@ int main() {
                 Table::num(1.0, 2)});
   for (int p : {2, 4, 8}) {
     double mmp = time_mm(p), fwp = time_fw(p), lup = time_lu(p);
+    record("MM", p, fl_mm, mmp, mm1);
+    record("FW", p, fl_fw, fwp, fw1);
+    record("LU", p, fl_lu, lup, lu1);
     real.add_row({Table::integer(p), Table::num(mmp, 3),
                   Table::num(mm1 / mmp, 2), Table::num(fwp, 3),
                   Table::num(fw1 / fwp, 2), Table::num(lup, 3),
@@ -102,5 +130,6 @@ int main() {
   }
   real.print(std::cout);
   real.write_csv("fig12_real_speedup.csv");
+  report.write();
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/registry.hpp"
+
 namespace gep {
 
 IdealCache::IdealCache(std::uint64_t capacity_bytes, std::uint64_t block_bytes)
@@ -39,6 +41,16 @@ void IdealCache::flush() {
   }
   lru_.clear();
   where_.clear();
+}
+
+void publish_cachesim_gauges(const std::string& prefix, const CacheStats& s) {
+  auto g = [&](const char* field) {
+    return obs::gauge("cachesim." + prefix + "." + field);
+  };
+  g("accesses").set(static_cast<double>(s.accesses));
+  g("misses").set(static_cast<double>(s.misses));
+  g("evictions").set(static_cast<double>(s.evictions));
+  g("writebacks").set(static_cast<double>(s.dirty_writebacks));
 }
 
 }  // namespace gep

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 
 #include "matrix/matrix.hpp"
@@ -33,6 +34,12 @@ struct CacheStats {
   // Block transfers between cache and memory (the paper's "I/Os").
   std::uint64_t io() const { return misses + dirty_writebacks; }
 };
+
+// Publishes `s` into the global metrics registry as gauges named
+// "cachesim.<prefix>.{accesses,misses,evictions,writebacks}", so benches
+// can print SIMULATED miss counts next to hardware-counter ones and the
+// JSON reporter picks both up from one snapshot. No-op when GEP_OBS=0.
+void publish_cachesim_gauges(const std::string& prefix, const CacheStats& s);
 
 class IdealCache {
  public:

@@ -69,6 +69,12 @@ class CacheHierarchy {
   const CacheStats& l1_stats() const { return l1_.stats(); }
   const CacheStats& l2_stats() const { return l2_.stats(); }
 
+  // Registry gauges "cachesim.<prefix>.l1.*" / "cachesim.<prefix>.l2.*".
+  void publish_gauges(const std::string& prefix) const {
+    publish_cachesim_gauges(prefix + ".l1", l1_.stats());
+    publish_cachesim_gauges(prefix + ".l2", l2_.stats());
+  }
+
  private:
   SetAssocCache l1_;
   SetAssocCache l2_;

@@ -4,7 +4,25 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace gep {
+namespace {
+
+// Process-wide mirrors: every PageCache instance publishes into the same
+// registry counters (the bench reporter snapshots them by name).
+struct PageCacheObs {
+  obs::Counter hits = obs::counter("extmem.page_cache.hits");
+  obs::Counter misses = obs::counter("extmem.page_cache.misses");
+  obs::Counter evictions = obs::counter("extmem.page_cache.evictions");
+  obs::Counter writebacks = obs::counter("extmem.page_cache.writebacks");
+};
+PageCacheObs& page_cache_obs() {
+  static PageCacheObs o;
+  return o;
+}
+
+}  // namespace
 
 PageCache::PageCache(std::uint64_t capacity_bytes, std::uint64_t page_bytes,
                      DiskModel model)
@@ -34,12 +52,15 @@ int PageCache::register_file(std::uint64_t pages) {
 void PageCache::evict(std::size_t frame) {
   Frame& fr = frames_[frame];
   if (!fr.valid) return;
+  ++stats_.evictions;
+  page_cache_obs().evictions.inc();
   if (fr.dirty) {
     const int file_id = static_cast<int>(fr.key >> 40);
     const std::uint64_t page = fr.key & ((1ULL << 40) - 1);
     files_[static_cast<std::size_t>(file_id)]->write_page(
         page, pool_.get() + frame * page_bytes_);
     ++stats_.page_outs;
+    page_cache_obs().writebacks.inc();
     stats_.io_wait_seconds += model_.io_seconds(page_bytes_);
   }
   table_.erase(fr.key);
@@ -54,6 +75,7 @@ void* PageCache::pin(int file_id, std::uint64_t page, bool for_write) {
   auto it = table_.find(key);
   if (it != table_.end()) {
     ++stats_.hits;
+    page_cache_obs().hits.inc();
     const std::size_t frame = it->second;
     lru_.splice(lru_.begin(), lru_, lru_pos_[frame]);  // bump to MRU
     if (for_write) frames_[frame].dirty = true;
@@ -71,6 +93,7 @@ void* PageCache::pin(int file_id, std::uint64_t page, bool for_write) {
     throw std::runtime_error("PageCache: every frame is pinned");
   }
   evict(frame);
+  page_cache_obs().misses.inc();
   files_[static_cast<std::size_t>(file_id)]->read_page(
       page, pool_.get() + frame * page_bytes_);
   ++stats_.page_ins;
@@ -105,6 +128,7 @@ void PageCache::flush() {
       files_[static_cast<std::size_t>(file_id)]->write_page(
           page, pool_.get() + f * page_bytes_);
       ++stats_.page_outs;
+      page_cache_obs().writebacks.inc();
       stats_.io_wait_seconds += model_.io_seconds(page_bytes_);
       fr.dirty = false;
     }

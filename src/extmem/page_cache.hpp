@@ -25,9 +25,12 @@ struct PageCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t page_ins = 0;   // transfers disk -> cache
   std::uint64_t page_outs = 0;  // dirty write-backs cache -> disk
+  std::uint64_t evictions = 0;  // frames repurposed
   double io_wait_seconds = 0;   // simulated (DiskModel)
 
   std::uint64_t io() const { return page_ins + page_outs; }
+  // Every pin is either a hit or a fault, so hits + misses == pins.
+  std::uint64_t misses() const { return pins - hits; }
 };
 
 class PageCache {

@@ -21,10 +21,15 @@
 #include "gep/kernels.hpp"
 #include "layout/zblocked.hpp"
 #include "matrix/matrix.hpp"
+#include "obs/obs.hpp"
 
 namespace gep {
 
 enum class BoxKind { A, B, C, D };
+
+inline char box_kind_char(BoxKind k) {
+  return "ABCD"[static_cast<int>(k)];
+}
 
 // Runs callables one after another (the unthreaded engine).
 struct SeqInvoker {
@@ -36,23 +41,53 @@ struct SeqInvoker {
 
 namespace detail {
 
+// Per-kind leaf instrumentation (counters live in the global registry).
+// The "updates" counters accumulate the m³ update volume of each leaf
+// box — the typed engine's work accounting, per recursion family.
+// Preprocessor-guarded rather than if constexpr: with GEP_OBS=0 these
+// names must not exist at all, so a GEP_OBS=0 translation unit can link
+// against GEP_OBS=1 libraries without two same-named inline definitions
+// whose obs::Counter members resolve to different types (an ODR trap).
+#if GEP_OBS
+struct TypedMetrics {
+  obs::Counter leaf_calls[4];
+  obs::Counter updates[4];
+};
+inline TypedMetrics& typed_metrics() {
+  static TypedMetrics m{
+      {obs::counter("typed.leaf_calls.A"), obs::counter("typed.leaf_calls.B"),
+       obs::counter("typed.leaf_calls.C"), obs::counter("typed.leaf_calls.D")},
+      {obs::counter("typed.updates.A"), obs::counter("typed.updates.B"),
+       obs::counter("typed.updates.C"), obs::counter("typed.updates.D")}};
+  return m;
+}
+#endif
+
 template <class Inv, class Leaf, class Prune>
 void typed_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
-               index_t bs, const Leaf& leaf, const Prune& prune) {
+               index_t bs, const Leaf& leaf, const Prune& prune,
+               int depth = 0) {
   if (prune(i0, j0, k0, m)) return;
+  const bool ik = (i0 == k0), jk = (j0 == k0);
+  const BoxKind kind = ik ? (jk ? BoxKind::A : BoxKind::B)
+                          : (jk ? BoxKind::C : BoxKind::D);
+  // One relaxed atomic load when tracing is off; a recorded span when on.
+  obs::ScopedSpan span(box_kind_char(kind), depth, i0, j0, k0, m);
   if (m <= bs) {
-    const bool ik = (i0 == k0), jk = (j0 == k0);
-    BoxKind kind = ik ? (jk ? BoxKind::A : BoxKind::B)
-                      : (jk ? BoxKind::C : BoxKind::D);
+#if GEP_OBS
+    TypedMetrics& tm = typed_metrics();
+    const int ki = static_cast<int>(kind);
+    tm.leaf_calls[ki].inc();
+    tm.updates[ki].inc(static_cast<std::uint64_t>(m) * m * m);
+#endif
     leaf(i0, j0, k0, m, kind);
     return;
   }
   const index_t h = m / 2;
   const index_t ka = k0, kb = k0 + h;
   auto R = [&](index_t ii, index_t jj, index_t kk) {
-    typed_rec(inv, ii, jj, kk, h, bs, leaf, prune);
+    typed_rec(inv, ii, jj, kk, h, bs, leaf, prune, depth + 1);
   };
-  const bool ik = (i0 == k0), jk = (j0 == k0);
   if (ik && jk) {  // A (Fig. 6 top): A; par{B,C}; D — per k-half
     R(i0, j0, ka);
     inv.invoke([&] { R(i0, j0 + h, ka); }, [&] { R(i0 + h, j0, ka); });
@@ -83,14 +118,21 @@ void typed_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
 // stages, giving span O(n) (end of Section 3).
 template <class Inv, class Leaf>
 void mm_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
-            index_t bs, const Leaf& leaf) {
+            index_t bs, const Leaf& leaf, int depth = 0) {
+  obs::ScopedSpan span('D', depth, i0, j0, k0, m);
   if (m <= bs) {
+#if GEP_OBS
+    static obs::Counter calls = obs::counter("typed.mm.leaf_calls");
+    static obs::Counter upd = obs::counter("typed.mm.updates");
+    calls.inc();
+    upd.inc(static_cast<std::uint64_t>(m) * m * m);
+#endif
     leaf(i0, j0, k0, m);
     return;
   }
   const index_t h = m / 2;
   auto R = [&](index_t ii, index_t jj, index_t kk) {
-    mm_rec(inv, ii, jj, kk, h, bs, leaf);
+    mm_rec(inv, ii, jj, kk, h, bs, leaf, depth + 1);
   };
   for (index_t kk : {k0, k0 + h}) {
     inv.invoke([&] { R(i0, j0, kk); }, [&] { R(i0, j0 + h, kk); },

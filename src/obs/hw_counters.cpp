@@ -1,0 +1,117 @@
+#include "obs/hw_counters.hpp"
+
+#if GEP_OBS
+
+#if defined(__linux__)
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace gep::obs {
+inline namespace on {
+
+namespace {
+
+int perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                    unsigned long flags) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+int open_event(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // user-space only: works at paranoid <= 2
+  attr.exclude_hv = 1;
+  // this thread, any cpu
+  return perf_event_open(&attr, 0, -1, -1, 0);
+}
+
+constexpr std::uint64_t l1d_read_miss_config() {
+  return PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+}
+
+}  // namespace
+
+HwCounters::HwCounters() {
+  fds_[0] = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  fds_[1] = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  fds_[2] = open_event(PERF_TYPE_HW_CACHE, l1d_read_miss_config());
+  fds_[3] = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+}
+
+HwCounters::~HwCounters() {
+  for (int fd : fds_)
+    if (fd >= 0) close(fd);
+}
+
+bool HwCounters::available() const {
+  for (int fd : fds_)
+    if (fd >= 0) return true;
+  return false;
+}
+
+void HwCounters::start() {
+  for (int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+HwSample HwCounters::read() const {
+  HwSample s;
+  std::uint64_t v[kEvents] = {0, 0, 0, 0};
+  bool ok[kEvents] = {false, false, false, false};
+  for (int i = 0; i < kEvents; ++i) {
+    if (fds_[i] < 0) continue;
+    ok[i] = ::read(fds_[i], &v[i], sizeof v[i]) == sizeof v[i];
+  }
+  s.cycles = v[0];
+  s.instructions = v[1];
+  s.l1d_misses = v[2];
+  s.llc_misses = v[3];
+  s.has_cycles = ok[0];
+  s.has_instructions = ok[1];
+  s.has_l1d = ok[2];
+  s.has_llc = ok[3];
+  s.valid = ok[0] || ok[1] || ok[2] || ok[3];
+  return s;
+}
+
+HwSample HwCounters::stop() {
+  for (int fd : fds_)
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  return read();
+}
+
+}  // namespace on
+}  // namespace gep::obs
+
+#else  // !__linux__: compile the same interface as an always-off stub.
+
+namespace gep::obs {
+inline namespace on {
+
+HwCounters::HwCounters() {}
+HwCounters::~HwCounters() {}
+bool HwCounters::available() const { return false; }
+void HwCounters::start() {}
+HwSample HwCounters::read() const { return {}; }
+HwSample HwCounters::stop() { return {}; }
+
+}  // namespace on
+}  // namespace gep::obs
+
+#endif  // __linux__
+
+#endif  // GEP_OBS

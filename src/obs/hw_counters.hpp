@@ -1,0 +1,84 @@
+// Hardware performance counters via Linux perf_event_open.
+//
+// Samples cycles, retired instructions, L1d read misses and last-level
+// cache misses for the calling thread. Each event is opened as its own
+// fd (not a group) so that a partially supported PMU — common in VMs and
+// containers — still yields whatever subset exists; `has_*` flags say
+// which fields of a sample are real.
+//
+// Graceful fallback is part of the contract: when the syscall is denied
+// (perf_event_paranoid, seccomp, no PMU) available() is false, start()
+// and stop() are no-ops and samples come back zeroed with valid=false.
+// Callers never need to special-case CI. With GEP_OBS=0 the class is an
+// inline stub that always reports unavailable.
+#pragma once
+
+#ifndef GEP_OBS
+#define GEP_OBS 1
+#endif
+
+#include <cstdint>
+
+namespace gep::obs {
+
+struct HwSample {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t llc_misses = 0;
+  bool valid = false;  // at least one event was actually measured
+  bool has_cycles = false;
+  bool has_instructions = false;
+  bool has_l1d = false;
+  bool has_llc = false;
+
+  double ipc() const {
+    return (has_cycles && has_instructions && cycles > 0)
+               ? static_cast<double>(instructions) /
+                     static_cast<double>(cycles)
+               : 0.0;
+  }
+};
+
+#if GEP_OBS
+
+inline namespace on {
+
+class HwCounters {
+ public:
+  HwCounters();  // opens whatever events the kernel permits
+  ~HwCounters();
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  // True when at least one event opened successfully.
+  bool available() const;
+
+  void start();      // reset + enable all open events
+  HwSample stop();   // disable + read
+  HwSample read() const;  // read without disabling
+
+ private:
+  static constexpr int kEvents = 4;  // cycles, instr, l1d, llc
+  int fds_[kEvents] = {-1, -1, -1, -1};
+};
+
+}  // namespace on
+
+#else
+
+inline namespace off {
+
+class HwCounters {
+ public:
+  bool available() const { return false; }
+  void start() {}
+  HwSample stop() { return {}; }
+  HwSample read() const { return {}; }
+};
+
+}  // namespace off
+
+#endif  // GEP_OBS
+
+}  // namespace gep::obs

@@ -1,0 +1,142 @@
+// Minimal streaming JSON writer used by the observability exporters
+// (registry snapshots, Chrome trace files, BENCH_*.json reports).
+//
+// Always compiled, independent of GEP_OBS: the bench reporter emits its
+// machine-readable output even in uninstrumented builds (the registry /
+// hardware-counter sections are simply empty there).
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace gep::obs {
+
+// Comma placement and nesting are tracked with a stack of "container has
+// emitted an element yet" flags, so callers just stream keys and values.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() {
+    element_prefix();
+    os_ << '{';
+    first_.push_back(true);
+  }
+  void end_object() {
+    first_.pop_back();
+    os_ << '}';
+  }
+  void begin_array() {
+    element_prefix();
+    os_ << '[';
+    first_.push_back(true);
+  }
+  void end_array() {
+    first_.pop_back();
+    os_ << ']';
+  }
+
+  void key(std::string_view k) {
+    element_prefix();
+    write_string(k);
+    os_ << ':';
+    after_key_ = true;
+  }
+
+  void value(std::string_view s) {
+    element_prefix();
+    write_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    element_prefix();
+    os_ << (b ? "true" : "false");
+  }
+  void value(double d) {
+    element_prefix();
+    if (!std::isfinite(d)) {  // JSON has no NaN/Inf literals
+      os_ << "null";
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    os_ << buf;
+  }
+  void value(std::uint64_t v) {
+    element_prefix();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    os_ << buf;
+  }
+  void value(std::int64_t v) {
+    element_prefix();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    os_ << buf;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void null() {
+    element_prefix();
+    os_ << "null";
+  }
+
+  // Splices pre-serialized JSON in as one value (e.g. a registry
+  // snapshot produced by snapshot_json()). The caller vouches for its
+  // validity.
+  void raw(std::string_view json) {
+    element_prefix();
+    os_ << json;
+  }
+
+  template <class T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void element_prefix() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) os_ << ',';
+      first_.back() = false;
+    }
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+}  // namespace gep::obs

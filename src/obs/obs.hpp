@@ -1,0 +1,19 @@
+// Umbrella header for the observability layer.
+//
+//   registry.hpp    — named counters / gauges / log2 histograms,
+//                     per-thread sharded, lock-free on the hot path
+//   hw_counters.hpp — perf_event_open wrapper (cycles, instructions,
+//                     L1d / LLC misses) with graceful no-op fallback
+//   trace.hpp       — scoped spans for the typed recursion, exported as
+//                     Chrome trace_event JSON
+//   json.hpp        — the streaming JSON writer the exporters share
+//
+// Compile-time switch: GEP_OBS (default 1; CMake -DGEP_OBS=0 turns every
+// producer into an inline no-op stub — the default hot paths carry no
+// instrumentation code at all). See docs/OBSERVABILITY.md.
+#pragma once
+
+#include "obs/hw_counters.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,163 @@
+#include "obs/registry.hpp"
+
+#if GEP_OBS
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace gep::obs {
+inline namespace on {
+
+namespace detail {
+
+int this_thread_shard() {
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return shard;
+}
+
+}  // namespace detail
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // node-based maps: impl addresses are stable across registrations.
+  std::map<std::string, std::unique_ptr<detail::CounterImpl>, std::less<>>
+      counters;
+  std::map<std::string, std::unique_ptr<detail::GaugeImpl>, std::less<>>
+      gauges;
+  std::map<std::string, std::unique_ptr<detail::HistogramImpl>, std::less<>>
+      histograms;
+};
+
+Registry& Registry::global() {
+  // Leaked intentionally: handles cached in function-local statics across
+  // the codebase may be used during static destruction.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Registry::Registry() : impl_(new Impl()) {}
+Registry::~Registry() { delete impl_; }
+
+Counter Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name),
+                      std::make_unique<detail::CounterImpl>())
+             .first;
+  }
+  return Counter(it->second.get());
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges
+             .emplace(std::string(name), std::make_unique<detail::GaugeImpl>())
+             .first;
+  }
+  return Gauge(it->second.get());
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms
+             .emplace(std::string(name),
+                      std::make_unique<detail::HistogramImpl>())
+             .first;
+  }
+  return Histogram(it->second.get());
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<MetricSample> out;
+  out.reserve(impl_->counters.size() + impl_->gauges.size() +
+              impl_->histograms.size());
+  for (const auto& [name, c] : impl_->counters) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::Counter;
+    s.name = name;
+    s.count = c->total();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::Gauge;
+    s.name = name;
+    s.value = g->v.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::Histogram;
+    s.name = name;
+    s.buckets = h->totals();
+    for (std::uint64_t b : s.buckets) s.count += b;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges)
+    g->v.store(0.0, std::memory_order_relaxed);
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+std::string snapshot_json() {
+  const std::vector<MetricSample> snap = Registry::global().snapshot();
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const MetricSample& s : snap)
+    if (s.kind == MetricSample::Kind::Counter) w.kv(s.name, s.count);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const MetricSample& s : snap)
+    if (s.kind == MetricSample::Kind::Gauge) w.kv(s.name, s.value);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const MetricSample& s : snap) {
+    if (s.kind != MetricSample::Kind::Histogram) continue;
+    w.key(s.name);
+    w.begin_object();
+    w.kv("count", s.count);
+    // Nonzero buckets only, as [bucket_index, count] pairs.
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      if (s.buckets[i] == 0) continue;
+      w.begin_array();
+      w.value(static_cast<std::uint64_t>(i));
+      w.value(s.buckets[i]);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace on
+}  // namespace gep::obs
+
+#endif  // GEP_OBS

@@ -1,0 +1,259 @@
+// Metrics registry: named counters, gauges and log2-bucket histograms.
+//
+// Hot-path design: registration (name lookup) takes a mutex but happens
+// once per call site — the returned handle is a raw pointer into the
+// registry's storage. Increments are wait-free: each counter/histogram is
+// sharded into cache-line-sized slots, and a thread bumps only the slot
+// for its shard with a relaxed fetch_add. Aggregation (snapshot) sums the
+// shards on demand.
+//
+// Everything here compiles to empty inline no-ops when GEP_OBS=0. The
+// enabled and disabled implementations live in *different* inline
+// namespaces (obs::on / obs::off), so a translation unit built with
+// -DGEP_OBS=0 can link against a library built with GEP_OBS=1 without ODR
+// clashes (used by tests/test_obs_off.cpp).
+#pragma once
+
+#ifndef GEP_OBS
+#define GEP_OBS 1
+#endif
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if GEP_OBS
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#endif
+
+namespace gep::obs {
+
+// One metric in a registry snapshot (same shape in both builds).
+struct MetricSample {
+  enum class Kind { Counter, Gauge, Histogram };
+  Kind kind = Kind::Counter;
+  std::string name;
+  std::uint64_t count = 0;                // counter value / histogram total
+  double value = 0.0;                     // gauge value
+  std::vector<std::uint64_t> buckets;     // histogram: log2 buckets
+};
+
+#if GEP_OBS
+
+inline namespace on {
+
+inline constexpr bool kEnabled = true;
+inline constexpr int kShards = 16;       // power of two
+inline constexpr int kHistBuckets = 64;  // bucket b: [2^(b-1), 2^b), b0 = {0}
+
+namespace detail {
+
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct CounterImpl {
+  Cell shards[kShards];
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const Cell& c : shards) t += c.v.load(std::memory_order_relaxed);
+    return t;
+  }
+  void reset() {
+    for (Cell& c : shards) c.v.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct GaugeImpl {
+  std::atomic<double> v{0.0};
+};
+
+struct HistogramImpl {
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> b[kHistBuckets];
+  };
+  Shard shards[kShards];
+
+  void observe(std::uint64_t x) {
+    const int bucket =
+        x == 0 ? 0
+               : std::min(static_cast<int>(std::bit_width(x)),
+                          kHistBuckets - 1);
+    shards[this_shard()].b[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+  std::vector<std::uint64_t> totals() const {
+    std::vector<std::uint64_t> t(kHistBuckets, 0);
+    for (const Shard& s : shards)
+      for (int i = 0; i < kHistBuckets; ++i)
+        t[static_cast<std::size_t>(i)] +=
+            s.b[i].load(std::memory_order_relaxed);
+    return t;
+  }
+  void reset() {
+    for (Shard& s : shards)
+      for (auto& b : s.b) b.store(0, std::memory_order_relaxed);
+  }
+
+  static int this_shard();
+};
+
+// Round-robin shard id for the calling thread (shared with CounterImpl).
+int this_thread_shard();
+
+inline int HistogramImpl::this_shard() { return this_thread_shard(); }
+
+}  // namespace detail
+
+// Handles are cheap value types; a default-constructed handle is inert.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t d = 1) {
+    if (p_ != nullptr)
+      p_->shards[detail::this_thread_shard()].v.fetch_add(
+          d, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return p_ == nullptr ? 0 : p_->total(); }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterImpl* p) : p_(p) {}
+  detail::CounterImpl* p_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+    if (p_ != nullptr) p_->v.store(v, std::memory_order_relaxed);
+  }
+  double value() const {
+    return p_ == nullptr ? 0.0 : p_->v.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeImpl* p) : p_(p) {}
+  detail::GaugeImpl* p_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::uint64_t v) {
+    if (p_ != nullptr) p_->observe(v);
+  }
+  std::vector<std::uint64_t> buckets() const {
+    return p_ == nullptr ? std::vector<std::uint64_t>(kHistBuckets, 0)
+                         : p_->totals();
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramImpl* p) : p_(p) {}
+  detail::HistogramImpl* p_ = nullptr;
+};
+
+class Registry {
+ public:
+  // The process-wide registry every producer publishes into.
+  static Registry& global();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Returns the handle for `name`, registering it on first use. Handles
+  // stay valid for the registry's lifetime.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name);
+
+  // Aggregated values of every registered metric, sorted by name within
+  // each kind (counters, then gauges, then histograms).
+  std::vector<MetricSample> snapshot() const;
+
+  // Zeroes every counter, gauge and histogram (names stay registered).
+  void reset();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// Convenience accessors on the global registry.
+inline Counter counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+inline Gauge gauge(std::string_view name) {
+  return Registry::global().gauge(name);
+}
+inline Histogram histogram(std::string_view name) {
+  return Registry::global().histogram(name);
+}
+
+// Global snapshot serialized as a JSON object
+// {"counters":{...},"gauges":{...},"histograms":{...}}.
+std::string snapshot_json();
+
+}  // namespace on
+
+#else  // GEP_OBS == 0: the whole API exists but is inert no-op stubs.
+
+inline namespace off {
+
+inline constexpr bool kEnabled = false;
+inline constexpr int kShards = 1;
+inline constexpr int kHistBuckets = 64;
+
+class Counter {
+ public:
+  void inc(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  double value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  void observe(std::uint64_t) {}
+  std::vector<std::uint64_t> buckets() const {
+    return std::vector<std::uint64_t>(kHistBuckets, 0);
+  }
+};
+
+class Registry {
+ public:
+  static Registry& global() {
+    static Registry r;
+    return r;
+  }
+  Counter counter(std::string_view) { return {}; }
+  Gauge gauge(std::string_view) { return {}; }
+  Histogram histogram(std::string_view) { return {}; }
+  std::vector<MetricSample> snapshot() const { return {}; }
+  void reset() {}
+};
+
+inline Counter counter(std::string_view) { return {}; }
+inline Gauge gauge(std::string_view) { return {}; }
+inline Histogram histogram(std::string_view) { return {}; }
+
+inline std::string snapshot_json() {
+  return "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+}
+
+}  // namespace off
+
+#endif  // GEP_OBS
+
+}  // namespace gep::obs

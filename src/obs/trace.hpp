@@ -1,0 +1,141 @@
+// Scoped span tracer for the typed I-GEP recursion.
+//
+// Each traced call records {kind, depth, quadrant origin (i0,j0,k0), box
+// side m, thread, t_start, t_end} into a per-thread buffer (no locks on
+// the hot path; one relaxed atomic load when tracing is inactive).
+// Buffers are exported as Chrome trace_event JSON, viewable in
+// chrome://tracing or Perfetto (ui.perfetto.dev) as a flamegraph per
+// thread.
+//
+// Usage:
+//   obs::Tracer::start();
+//   ... run an igep_* driver ...
+//   obs::Tracer::stop();
+//   obs::Tracer::write_chrome_trace("igep.trace.json");
+//
+// The bench harness drives this from the GEP_OBS_TRACE environment
+// variable (value = output path). With GEP_OBS=0 everything here is an
+// empty inline stub.
+#pragma once
+
+#ifndef GEP_OBS
+#define GEP_OBS 1
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#if GEP_OBS
+#include <atomic>
+#include <chrono>
+#endif
+
+namespace gep::obs {
+
+#if GEP_OBS
+
+inline namespace on {
+
+struct TraceEvent {
+  std::uint64_t t0_ns = 0;  // relative to Tracer::start()
+  std::uint64_t t1_ns = 0;
+  std::uint32_t i0 = 0, j0 = 0, k0 = 0, m = 0;
+  std::uint16_t depth = 0;
+  char kind = '?';  // 'A' / 'B' / 'C' / 'D' (typed recursion), free-form
+};
+
+class Tracer {
+ public:
+  static bool active() {
+    return active_flag().load(std::memory_order_relaxed);
+  }
+  static void start();  // clears nothing; resumes appending
+  static void stop();
+  static void clear();  // drops all recorded events
+  static std::size_t event_count();
+  static std::uint64_t dropped_count();
+
+  // Appends to the calling thread's buffer (capped; overflow is counted,
+  // not stored). Only meaningful while active.
+  static void record(const TraceEvent& e);
+
+  // Serializes all buffers as Chrome trace_event JSON. Call while
+  // stopped. Returns false when the file cannot be written.
+  static bool write_chrome_trace(const std::string& path);
+
+  // Value of $GEP_OBS_TRACE (the trace output path), or nullptr.
+  static const char* env_path();
+
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  static std::uint64_t base_ns();  // timestamp of the last start()
+
+ private:
+  static std::atomic<bool>& active_flag();
+};
+
+// RAII span: captures the start time on construction when tracing is
+// active and records the event on destruction.
+class ScopedSpan {
+ public:
+  ScopedSpan(char kind, int depth, long long i0, long long j0, long long k0,
+             long long m) {
+    if (!Tracer::active()) return;
+    on_ = true;
+    e_.kind = kind;
+    e_.depth = static_cast<std::uint16_t>(depth);
+    e_.i0 = static_cast<std::uint32_t>(i0);
+    e_.j0 = static_cast<std::uint32_t>(j0);
+    e_.k0 = static_cast<std::uint32_t>(k0);
+    e_.m = static_cast<std::uint32_t>(m);
+    e_.t0_ns = Tracer::now_ns() - Tracer::base_ns();
+  }
+  ~ScopedSpan() {
+    if (!on_) return;
+    e_.t1_ns = Tracer::now_ns() - Tracer::base_ns();
+    Tracer::record(e_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceEvent e_;
+  bool on_ = false;
+};
+
+}  // namespace on
+
+#else  // GEP_OBS == 0
+
+inline namespace off {
+
+struct TraceEvent {};
+
+class Tracer {
+ public:
+  static bool active() { return false; }
+  static void start() {}
+  static void stop() {}
+  static void clear() {}
+  static std::size_t event_count() { return 0; }
+  static std::uint64_t dropped_count() { return 0; }
+  static void record(const TraceEvent&) {}
+  static bool write_chrome_trace(const std::string&) { return false; }
+  static const char* env_path() { return nullptr; }
+};
+
+class ScopedSpan {
+ public:
+  ScopedSpan(char, int, long long, long long, long long, long long) {}
+};
+
+}  // namespace off
+
+#endif  // GEP_OBS
+
+}  // namespace gep::obs

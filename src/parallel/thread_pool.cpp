@@ -1,6 +1,14 @@
 #include "parallel/thread_pool.hpp"
 
+#include "obs/registry.hpp"
+
 namespace gep {
+
+void ThreadPool::note_executed() {
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter c = obs::counter("parallel.pool.executed");
+  c.inc();
+}
 
 ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
   for (int t = 0; t + 1 < threads_; ++t) {
@@ -33,6 +41,7 @@ bool ThreadPool::try_run_one() {
     t = std::move(queue_.front());
     queue_.pop_front();
   }
+  note_executed();
   t.fn();
   t.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
   return true;
@@ -48,6 +57,7 @@ void ThreadPool::worker_loop() {
       t = std::move(queue_.front());
       queue_.pop_front();
     }
+    note_executed();
     t.fn();
     t.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
   }

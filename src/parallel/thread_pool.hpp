@@ -9,6 +9,7 @@
 // stage runs inline, the rest are forked.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -32,12 +33,19 @@ class ThreadPool {
 
   int threads() const { return threads_; }
 
+  // Tasks executed by the pool (workers + helping waiters). Also
+  // mirrored into the metrics registry as "parallel.pool.executed".
+  long executed_count() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class TaskGroup;
   struct Task {
     std::function<void()> fn;
     TaskGroup* group;
   };
+  void note_executed();
 
   void push(Task t);
   // Pops and runs one queued task; returns false if the queue was empty.
@@ -49,6 +57,7 @@ class ThreadPool {
   std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
+  std::atomic<long> executed_{0};
   bool stop_ = false;
 };
 

@@ -7,10 +7,53 @@ namespace {
 thread_local const WorkStealingPool* tls_pool = nullptr;
 thread_local int tls_id = -1;
 
+// Pool-wide mirrors in the global metrics registry (no-ops at GEP_OBS=0).
+obs::Counter& obs_steals() {
+  static obs::Counter c = obs::counter("parallel.ws.steals");
+  return c;
+}
+obs::Counter& obs_executed() {
+  static obs::Counter c = obs::counter("parallel.ws.executed");
+  return c;
+}
+obs::Counter& obs_idle_wakes() {
+  static obs::Counter c = obs::counter("parallel.ws.idle_wakes");
+  return c;
+}
+
 }  // namespace
+
+long WorkStealingPool::steal_count() const {
+  long n = 0;
+  for (const auto& d : deques_) n += d->steals.load(std::memory_order_relaxed);
+  return n;
+}
+
+long WorkStealingPool::executed_count() const {
+  long n = 0;
+  for (const auto& d : deques_)
+    n += d->executed.load(std::memory_order_relaxed);
+  return n;
+}
+
+WsWorkerStats WorkStealingPool::worker_stats(int worker) const {
+  const Deque& d = *deques_[static_cast<std::size_t>(worker)];
+  WsWorkerStats s;
+  s.steals = d.steals.load(std::memory_order_relaxed);
+  s.executed = d.executed.load(std::memory_order_relaxed);
+  s.idle_wakes = d.idle_wakes.load(std::memory_order_relaxed);
+  s.idle_seconds =
+      static_cast<double>(d.idle_ns.load(std::memory_order_relaxed)) / 1e9;
+  return s;
+}
 
 WorkStealingPool::WorkStealingPool(int threads)
     : threads_(threads < 1 ? 1 : threads) {
+  // Register the pool metrics up front so registry snapshots always show
+  // them (a single-threaded run legitimately reports steals == 0).
+  obs_steals();
+  obs_executed();
+  obs_idle_wakes();
   for (int d = 0; d < threads_; ++d) {
     deques_.push_back(std::make_unique<Deque>());
   }
@@ -69,12 +112,20 @@ bool WorkStealingPool::try_run_one() {
         task = std::move(d.q.front());
         d.q.pop_front();
         got = true;
-        steals_.fetch_add(1, std::memory_order_relaxed);
+        // Charged to the THIEF: steals are the unit Lemma 3.1's cache-
+        // miss bound counts, and the thief is the worker whose working
+        // set changes.
+        deques_[static_cast<std::size_t>(me)]->steals.fetch_add(
+            1, std::memory_order_relaxed);
+        obs_steals().inc();
       }
     }
   }
   if (!got) return false;
   pending_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+  deques_[static_cast<std::size_t>(me)]->executed.fetch_add(
+      1, std::memory_order_relaxed);
+  obs_executed().inc();
   task.fn();
   task.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
   return true;
@@ -83,13 +134,25 @@ bool WorkStealingPool::try_run_one() {
 void WorkStealingPool::worker_loop(int id) {
   tls_pool = this;
   tls_id = id;
+  Deque& mine = *deques_[static_cast<std::size_t>(id)];
   while (!stop_.load(std::memory_order_acquire)) {
     if (!try_run_one()) {
-      std::unique_lock<std::mutex> lock(sleep_mu_);
-      sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
-        return stop_.load(std::memory_order_acquire) ||
-               pending_tasks_.load(std::memory_order_acquire) > 0;
-      });
+      const auto park_start = std::chrono::steady_clock::now();
+      {
+        std::unique_lock<std::mutex> lock(sleep_mu_);
+        sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+          return stop_.load(std::memory_order_acquire) ||
+                 pending_tasks_.load(std::memory_order_acquire) > 0;
+        });
+      }
+      mine.idle_wakes.fetch_add(1, std::memory_order_relaxed);
+      mine.idle_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - park_start)
+                  .count()),
+          std::memory_order_relaxed);
+      obs_idle_wakes().inc();
     }
   }
   tls_pool = nullptr;

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <condition_variable>
 #include <deque>
@@ -20,11 +21,22 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "util/prng.hpp"
 
 namespace gep {
 
 class WsTaskGroup;
+
+// Aggregated view of one worker's activity (worker 0 is the external /
+// calling thread's deque). idle_seconds is time spent parked in the
+// sleep condition variable, not time spinning in wait().
+struct WsWorkerStats {
+  long steals = 0;
+  long executed = 0;
+  long idle_wakes = 0;
+  double idle_seconds = 0.0;
+};
 
 class WorkStealingPool {
  public:
@@ -38,7 +50,11 @@ class WorkStealingPool {
 
   // Total successful steals (for the scheduler-behaviour tests; the
   // work-stealing bound charges cache misses to steals).
-  long steal_count() const { return steals_.load(std::memory_order_relaxed); }
+  long steal_count() const;
+
+  // Tasks executed across all workers, and the per-worker breakdown.
+  long executed_count() const;
+  WsWorkerStats worker_stats(int worker) const;
 
  private:
   friend class WsTaskGroup;
@@ -46,9 +62,15 @@ class WorkStealingPool {
     std::function<void()> fn;
     WsTaskGroup* group;
   };
+  // Per-worker counters ride in the worker's own Deque allocation; each
+  // field is bumped only by its owner (relaxed), read by aggregators.
   struct Deque {
     std::deque<Task> q;
     std::mutex mu;
+    alignas(64) std::atomic<long> steals{0};
+    std::atomic<long> executed{0};
+    std::atomic<long> idle_wakes{0};
+    std::atomic<std::uint64_t> idle_ns{0};
   };
 
   // Pushes to the calling worker's deque (or deque 0 from outside).
@@ -64,7 +86,6 @@ class WorkStealingPool {
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
   std::atomic<long> pending_tasks_{0};
-  std::atomic<long> steals_{0};
   std::atomic<bool> stop_{false};
 };
 

@@ -60,6 +60,57 @@ TEST(PageCache, IoWaitAccumulatesPerModel) {
               1e-9);
 }
 
+TEST(PageCache, StatsAccountingUnderEvictionPressure) {
+  PageCache cache(2 * 4096, 4096);  // 2 frames, 8-page working set
+  int f = cache.register_file(8);
+  // Cyclic sweep with writes: constant eviction + writeback traffic.
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t p = 0; p < 8; ++p) {
+      char* d = static_cast<char*>(cache.pin(f, p, true));
+      d[0] = static_cast<char>(p);
+    }
+  }
+  const PageCacheStats s = cache.stats();
+  EXPECT_EQ(s.pins, 24u);
+  // Invariant: every pin is either a hit or a fault.
+  EXPECT_EQ(s.hits + s.misses(), s.pins);
+  // A 2-frame cache sweeping 8 pages can never hit.
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses(), 24u);
+  EXPECT_EQ(s.page_ins, 24u);
+  // Every fault after the first two repurposes a frame.
+  EXPECT_EQ(s.evictions, 22u);
+  // All evicted pages were dirty.
+  EXPECT_EQ(s.page_outs, 22u);
+}
+
+TEST(PageCache, ResetStatsClearsCountersButNotContents) {
+  PageCache cache(2 * 4096, 4096);
+  int f = cache.register_file(8);
+  char* d = static_cast<char*>(cache.pin(f, 0, true));
+  d[0] = 77;
+  for (std::uint64_t p = 1; p < 6; ++p) cache.pin(f, p, false);
+  ASSERT_GT(cache.stats().pins, 0u);
+  ASSERT_GT(cache.stats().evictions, 0u);
+
+  cache.reset_stats();
+  PageCacheStats s = cache.stats();
+  EXPECT_EQ(s.pins, 0u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses(), 0u);
+  EXPECT_EQ(s.page_ins, 0u);
+  EXPECT_EQ(s.page_outs, 0u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.io_wait_seconds, 0.0);
+
+  // Cached data survives the reset and stats re-accumulate from zero.
+  char* back = static_cast<char*>(cache.pin(f, 0, false));
+  EXPECT_EQ(back[0], 77);
+  s = cache.stats();
+  EXPECT_EQ(s.pins, 1u);
+  EXPECT_EQ(s.hits + s.misses(), 1u);
+}
+
 TEST(PageCache, MultipleFilesDoNotCollide) {
   PageCache cache(8 * 4096, 4096);
   int f1 = cache.register_file(4);

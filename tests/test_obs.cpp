@@ -1,0 +1,287 @@
+// Tests for the observability layer (src/obs/): metrics registry,
+// hardware counters, span tracer, and the JSON writer. These run in the
+// default GEP_OBS=1 configuration; test_obs_off.cpp covers the
+// compiled-out build.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace gep {
+namespace {
+
+// --- JsonWriter (always compiled, both configs) ---------------------------
+
+TEST(JsonWriter, NestedStructure) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("b");
+  w.begin_array();
+  w.value(std::uint64_t{2});
+  w.value("x\"y\\z\n");
+  w.begin_object();
+  w.kv("c", true);
+  w.key("z");
+  w.null();
+  w.end_object();
+  w.end_array();
+  w.kv("d", 2.5);
+  w.end_object();
+  const std::string s = os.str();
+  EXPECT_EQ(s, "{\"a\":1,\"b\":[2,\"x\\\"y\\\\z\\n\","
+               "{\"c\":true,\"z\":null}],\"d\":2.5}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(1.0);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null,1]");
+}
+
+TEST(JsonWriter, RawSplicesVerbatim) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("m");
+  w.raw("{\"k\":7}");
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"m\":{\"k\":7}}");
+}
+
+#if GEP_OBS
+
+// --- Registry -------------------------------------------------------------
+
+TEST(Registry, CounterAggregatesAcrossThreads) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("t.c");
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 10000;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&c] {
+      for (int k = 0; k < kIncs; ++k) c.inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncs);
+}
+
+TEST(Registry, SameNameSameCounter) {
+  obs::Registry reg;
+  obs::Counter a = reg.counter("dup");
+  obs::Counter b = reg.counter("dup");
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(Registry, GaugeHoldsLastValue) {
+  obs::Registry reg;
+  obs::Gauge g = reg.gauge("t.g");
+  g.set(2.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Registry, HistogramLog2Buckets) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("t.h");
+  // bucket 0 = {0}; bucket b (b >= 1) = [2^(b-1), 2^b).
+  h.observe(0);    // bucket 0
+  h.observe(1);    // bucket 1
+  h.observe(2);    // bucket 2
+  h.observe(3);    // bucket 2
+  h.observe(4);    // bucket 3
+  h.observe(7);    // bucket 3
+  h.observe(8);    // bucket 4
+  h.observe(1023); // bucket 10
+  h.observe(1024); // bucket 11
+  std::vector<obs::MetricSample> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const obs::MetricSample& s = snap[0];
+  EXPECT_EQ(s.kind, obs::MetricSample::Kind::Histogram);
+  EXPECT_EQ(s.name, "t.h");
+  EXPECT_EQ(s.count, 9u);
+  ASSERT_EQ(s.buckets.size(), static_cast<std::size_t>(obs::kHistBuckets));
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_EQ(s.buckets[3], 2u);
+  EXPECT_EQ(s.buckets[4], 1u);
+  EXPECT_EQ(s.buckets[10], 1u);
+  EXPECT_EQ(s.buckets[11], 1u);
+}
+
+TEST(Registry, HistogramHugeValuesClampToLastBucket) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("t.h2");
+  h.observe(~std::uint64_t{0});
+  std::vector<obs::MetricSample> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].buckets[obs::kHistBuckets - 1], 1u);
+}
+
+TEST(Registry, ResetClearsEverything) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("r.c");
+  obs::Gauge g = reg.gauge("r.g");
+  obs::Histogram h = reg.histogram("r.h");
+  c.inc(5);
+  g.set(9.0);
+  h.observe(17);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  for (const obs::MetricSample& s : reg.snapshot()) EXPECT_EQ(s.count, 0u);
+  c.inc();  // handles stay live after reset
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Registry, SnapshotSortedAndTyped) {
+  obs::Registry reg;
+  reg.counter("b.count").inc(2);
+  reg.gauge("a.gauge").set(1.0);
+  reg.histogram("c.hist").observe(4);
+  std::vector<obs::MetricSample> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // snapshot() groups counters, then gauges, then histograms; names are
+  // sorted within each group (std::map iteration).
+  EXPECT_EQ(snap[0].name, "b.count");
+  EXPECT_EQ(snap[0].kind, obs::MetricSample::Kind::Counter);
+  EXPECT_EQ(snap[1].name, "a.gauge");
+  EXPECT_EQ(snap[1].kind, obs::MetricSample::Kind::Gauge);
+  EXPECT_EQ(snap[2].name, "c.hist");
+  EXPECT_EQ(snap[2].kind, obs::MetricSample::Kind::Histogram);
+}
+
+TEST(Registry, GlobalSnapshotJsonIsWellFormed) {
+  obs::counter("json.check.counter").inc(42);
+  obs::gauge("json.check.gauge").set(2.5);
+  obs::histogram("json.check.hist").observe(100);
+  const std::string js = obs::snapshot_json();
+  EXPECT_NE(js.find("\"counters\""), std::string::npos);
+  EXPECT_NE(js.find("\"json.check.counter\":42"), std::string::npos);
+  EXPECT_NE(js.find("\"json.check.gauge\":2.5"), std::string::npos);
+  EXPECT_NE(js.find("\"json.check.hist\""), std::string::npos);
+  // Balanced braces/brackets (no quoting subtleties in metric names).
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    char ch = js[i];
+    if (in_str) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_str = false;
+      continue;
+    }
+    if (ch == '"') in_str = true;
+    else if (ch == '{' || ch == '[') ++depth;
+    else if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+// --- Hardware counters ----------------------------------------------------
+
+TEST(HwCounters, SampleOrSkip) {
+  obs::HwCounters hw;
+  if (!hw.available()) {
+    GTEST_SKIP() << "perf_event_open unavailable (permissions/kernel)";
+  }
+  hw.start();
+  // Burn a few hundred thousand instructions.
+  volatile double x = 1.0;
+  for (int i = 0; i < 100000; ++i) x = x * 1.0000001 + 1e-9;
+  obs::HwSample s = hw.stop();
+  ASSERT_TRUE(s.valid);
+  if (s.has_instructions) EXPECT_GT(s.instructions, 100000u);
+  if (s.has_cycles) EXPECT_GT(s.cycles, 0u);
+  if (s.has_cycles && s.has_instructions) EXPECT_GT(s.ipc(), 0.0);
+}
+
+TEST(HwCounters, StopWithoutStartIsInvalid) {
+  obs::HwCounters hw;
+  obs::HwSample s = hw.read();
+  if (!hw.available()) EXPECT_FALSE(s.valid);
+}
+
+// --- Tracer ---------------------------------------------------------------
+
+TEST(Tracer, SpansRecordedOnlyWhileActive) {
+  obs::Tracer::clear();
+  { obs::ScopedSpan s('A', 0, 0, 0, 0, 64); }  // inactive: dropped
+  EXPECT_EQ(obs::Tracer::event_count(), 0u);
+  obs::Tracer::start();
+  { obs::ScopedSpan s('B', 1, 0, 64, 0, 32); }
+  { obs::ScopedSpan s('D', 2, 32, 32, 0, 16); }
+  obs::Tracer::stop();
+  { obs::ScopedSpan s('C', 0, 0, 0, 0, 8); }  // stopped again: dropped
+  EXPECT_EQ(obs::Tracer::event_count(), 2u);
+  obs::Tracer::clear();
+  EXPECT_EQ(obs::Tracer::event_count(), 0u);
+}
+
+TEST(Tracer, ChromeTraceFileIsValidJson) {
+  obs::Tracer::clear();
+  obs::Tracer::start();
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([t] {
+      for (int i = 0; i < 10; ++i)
+        obs::ScopedSpan s("ABCD"[i % 4], t, i, i, i, 64);
+    });
+  }
+  for (auto& t : ts) t.join();
+  obs::Tracer::stop();
+  EXPECT_EQ(obs::Tracer::event_count(), 40u);
+
+  const char* path = "test_obs.trace.json";
+  ASSERT_TRUE(obs::Tracer::write_chrome_trace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string js = buf.str();
+  EXPECT_NE(js.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(js.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(js.find("\"cat\":\"igep\""), std::string::npos);
+  EXPECT_NE(js.find("\"name\":\"A\""), std::string::npos);
+  // Must parse at the brace level.
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    char ch = js[i];
+    if (in_str) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_str = false;
+      continue;
+    }
+    if (ch == '"') in_str = true;
+    else if (ch == '{' || ch == '[') ++depth;
+    else if (ch == '}' || ch == ']') --depth;
+  }
+  EXPECT_EQ(depth, 0);
+  std::remove(path);
+  obs::Tracer::clear();
+}
+
+#endif  // GEP_OBS
+
+}  // namespace
+}  // namespace gep

@@ -1,0 +1,106 @@
+// Compiled with -DGEP_OBS=0 (see tests/CMakeLists.txt): proves the
+// observability API compiles away cleanly — every handle is an inert
+// stub, the typed engine still computes correct results through the
+// stubbed spans/counters, and nothing here links against gep_obs
+// internals (the enabled impls live in inline namespace obs::on, the
+// stubs in obs::off, so mixing this TU with GEP_OBS=1 libraries is
+// ODR-safe).
+#if defined(GEP_OBS) && GEP_OBS
+#error "test_obs_off.cpp must be compiled with GEP_OBS=0"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+
+#include "gep/typed.hpp"
+#include "layout/zblocked.hpp"
+#include "matrix/matrix.hpp"
+#include "obs/obs.hpp"
+#include "parallel/work_stealing.hpp"
+#include "util/prng.hpp"
+
+namespace gep {
+namespace {
+
+static_assert(!obs::kEnabled, "GEP_OBS=0 must disable the obs layer");
+// The stub span carries no state — the typed recursion's hot frames pay
+// nothing for it.
+static_assert(std::is_empty_v<obs::ScopedSpan>,
+              "disabled ScopedSpan must be stateless");
+
+TEST(ObsOff, HandlesAreInertNoOps) {
+  obs::Counter c = obs::counter("off.c");
+  c.inc();
+  c.inc(100);
+  EXPECT_EQ(c.value(), 0u);
+
+  obs::Gauge g = obs::gauge("off.g");
+  g.set(3.25);
+  EXPECT_EQ(g.value(), 0.0);
+
+  obs::Histogram h = obs::histogram("off.h");
+  h.observe(42);
+  for (std::uint64_t b : h.buckets()) EXPECT_EQ(b, 0u);
+
+  EXPECT_TRUE(obs::Registry::global().snapshot().empty());
+  EXPECT_EQ(obs::snapshot_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(ObsOff, HwCountersUnavailable) {
+  obs::HwCounters hw;
+  EXPECT_FALSE(hw.available());
+  hw.start();
+  obs::HwSample s = hw.stop();
+  EXPECT_FALSE(s.valid);
+  EXPECT_EQ(s.cycles, 0u);
+}
+
+TEST(ObsOff, TracerRecordsNothing) {
+  obs::Tracer::start();
+  { obs::ScopedSpan s('A', 0, 0, 0, 0, 64); }
+  obs::Tracer::stop();
+  EXPECT_FALSE(obs::Tracer::active());
+  EXPECT_EQ(obs::Tracer::event_count(), 0u);
+  EXPECT_FALSE(obs::Tracer::write_chrome_trace("should_not_exist.json"));
+}
+
+TEST(ObsOff, JsonWriterStillWorks) {
+  // The writer is shared with the bench reporter and stays functional.
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("k", 1);
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"k\":1}");
+}
+
+// The typed I-GEP engine instantiated from this GEP_OBS=0 TU (spans and
+// counters compiled out) must still produce the right elimination.
+TEST(ObsOff, TypedEngineStillCorrect) {
+  const index_t n = 64;
+  Matrix<double> a(n, n);
+  SplitMix64 rng(7);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += static_cast<double>(n) + 2.0;
+  }
+  Matrix<double> want = a;
+  // Reference GE without pivoting (the GEP kernel).
+  for (index_t k = 0; k < n; ++k)
+    for (index_t i = k + 1; i < n; ++i)
+      for (index_t j = k + 1; j < n; ++j)
+        want(i, j) -= want(i, k) * want(k, j) / want(k, k);
+
+  SeqInvoker inv;
+  RowMajorStore<double> st{a.data(), n, 16};
+  igep_lu(inv, st, n, {16});
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = i; j < n; ++j)
+      EXPECT_NEAR(a(i, j), want(i, j), 1e-9) << i << "," << j;
+}
+
+}  // namespace
+}  // namespace gep
