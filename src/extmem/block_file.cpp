@@ -29,7 +29,7 @@ BlockFile::~BlockFile() {
 }
 
 void BlockFile::read_page(std::uint64_t page, void* buf) {
-  ++pages_read_;
+  pages_read_.fetch_add(1, std::memory_order_relaxed);
   const off_t off = static_cast<off_t>(page * page_bytes_);
   std::uint64_t got = 0;
   while (got < page_bytes_) {
@@ -45,7 +45,7 @@ void BlockFile::read_page(std::uint64_t page, void* buf) {
 }
 
 void BlockFile::write_page(std::uint64_t page, const void* buf) {
-  ++pages_written_;
+  pages_written_.fetch_add(1, std::memory_order_relaxed);
   const off_t off = static_cast<off_t>(page * page_bytes_);
   std::uint64_t put = 0;
   while (put < page_bytes_) {

@@ -7,6 +7,7 @@
 // NVMe-class storage would otherwise hide the effect Fig. 7 measures.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -21,18 +22,25 @@ class BlockFile {
   BlockFile(const BlockFile&) = delete;
   BlockFile& operator=(const BlockFile&) = delete;
 
+  // Thread-safe: pread/pwrite are positioned, and the transfer counters
+  // are atomic (the page cache's async worker and foreground faults hit
+  // the same file concurrently).
   void read_page(std::uint64_t page, void* buf);
   void write_page(std::uint64_t page, const void* buf);
 
   std::uint64_t page_bytes() const { return page_bytes_; }
-  std::uint64_t pages_read() const { return pages_read_; }
-  std::uint64_t pages_written() const { return pages_written_; }
+  std::uint64_t pages_read() const {
+    return pages_read_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pages_written() const {
+    return pages_written_.load(std::memory_order_relaxed);
+  }
 
  private:
   int fd_ = -1;
   std::uint64_t page_bytes_;
-  std::uint64_t pages_read_ = 0;
-  std::uint64_t pages_written_ = 0;
+  std::atomic<std::uint64_t> pages_read_{0};
+  std::atomic<std::uint64_t> pages_written_{0};
 };
 
 }  // namespace gep

@@ -18,6 +18,13 @@ struct DiskModel {
   double avg_seek_ms = 4.5;        // Fujitsu MAP3735NC average seek
   double transfer_mb_per_s = 86.0; // mid-range of 64.1-107.86 MB/s
 
+  // Fraction of io_seconds() the PageCache actually sleeps per transfer
+  // (0 = pure accounting, the Fig. 7 sweeps). Making a slice of the
+  // latency real is how the prefetch benches demonstrate overlap: with
+  // instant NVMe-backed I/O there is no latency to hide, so async
+  // prefetch could never show a wall-clock win.
+  double realize_fraction = 0.0;
+
   // Simulated wall time for one page transfer of `bytes`.
   double io_seconds(std::uint64_t bytes) const {
     return avg_seek_ms * 1e-3 +

@@ -144,14 +144,25 @@ class OocTiledMatrix {
   TilePin pin_tile(index_t ti, index_t tj, bool for_write) {
     const index_t tile = ti * tiles_per_row_ + tj;
     const index_t page = tile / tiles_per_page_;
+    // If pinning evicted the page the get/set memo pointed at, the
+    // eviction-epoch check in element() already invalidates it — no
+    // memo write here, which would race between concurrent pinners.
     PageCache::PagePin pin = cache_->acquire(
         file_id_, static_cast<std::uint64_t>(page), for_write);
     T* base = static_cast<T*>(pin.data()) +
               (tile % tiles_per_page_) * ts_ * ts_;
-    // Pinning may have evicted the page our memo pointed at.
-    memo_page_ = -1;
     return TilePin{std::move(pin), base};
   }
+
+  // Hints the cache that the tile's page will be pinned soon (no-op
+  // without the cache's async worker). Thread-safe, never blocks.
+  void prefetch_tile(index_t ti, index_t tj) {
+    const index_t tile = ti * tiles_per_row_ + tj;
+    cache_->prefetch(file_id_,
+                     static_cast<std::uint64_t>(tile / tiles_per_page_));
+  }
+
+  PageCache& cache() { return *cache_; }
   index_t n() const {
     assert(rows_ == cols_);
     return rows_;

@@ -7,8 +7,22 @@
 // paper's out-of-core numbers imply) operates at block granularity: pin
 // the X/U/V(/W) tiles of a base-case box in memory, run the raw-pointer
 // kernel, release. Same recursion, same I/O pattern, near in-core compute
-// speed. Requires the base size to equal the on-disk tile side and the
-// page cache to hold at least 4 pinned tiles plus headroom.
+// speed.
+//
+// The engines are generic over the Invoker concept (gep/typed.hpp), so
+// the same code runs sequentially (SeqInvoker) or as the multithreaded
+// I-GEP of Fig. 6 on a work-stealing pool — acquire()'s pins make the
+// cache safe for concurrent leaves, and invoke() barriers keep each
+// stage's X tiles disjoint, so the parallel run is bit-identical to the
+// sequential one. With OocTypedOptions::prefetch the recursion issues
+// hints for the next stage's first-leaf tiles one stage ahead, which the
+// cache's async worker (PageCache::enable_async_io) turns into
+// overlapped fault-ins.
+//
+// Sizing contract: the page cache must hold the concurrently pinned
+// tiles plus headroom — at least 4 frames per in-flight leaf (X, U, V,
+// W) times the worker count, or acquire() throws under pressure (see
+// docs/EXTMEM.md).
 #pragma once
 
 #include <stdexcept>
@@ -17,6 +31,12 @@
 #include "gep/typed.hpp"
 
 namespace gep {
+
+struct OocTypedOptions {
+  // Issue prefetch hints from the recursion. Only useful with the
+  // cache's async worker running; harmless (counted as dropped) without.
+  bool prefetch = false;
+};
 
 namespace detail {
 
@@ -34,12 +54,12 @@ void check_ooc_typed(const OocTiledMatrix<T>& m) {
 }  // namespace detail
 
 // Out-of-core Floyd-Warshall at block granularity (base = tile side).
-template <class T>
-void ooc_igep_floyd_warshall(OocTiledMatrix<T>& m) {
+template <class T, class Inv>
+void ooc_igep_floyd_warshall(OocTiledMatrix<T>& m, Inv& inv,
+                             OocTypedOptions opts = {}) {
   detail::check_ooc_typed(m);
   const index_t n = m.rows();
   const index_t bs = m.tile_side();
-  SeqInvoker inv;
   auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm, BoxKind) {
     auto x = m.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
     auto u = m.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
@@ -47,16 +67,28 @@ void ooc_igep_floyd_warshall(OocTiledMatrix<T>& m) {
     kernel_fw(x.ptr, u.ptr, v.ptr, mm, bs, bs, bs);
   };
   auto prune = [](index_t, index_t, index_t, index_t) { return false; };
-  detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+  if (opts.prefetch) {
+    // (i0,j0,k0) is a subtree corner: its first leaf reads exactly these
+    // tiles. Hint only near the bottom (subtree ≤ 2 base boxes wide) —
+    // higher corners are too far in the future to hold in the cache.
+    auto hint = [&](index_t i0, index_t j0, index_t k0, index_t mm) {
+      if (mm > 2 * bs) return;
+      m.prefetch_tile(i0 / bs, j0 / bs);
+      m.prefetch_tile(i0 / bs, k0 / bs);
+      m.prefetch_tile(k0 / bs, j0 / bs);
+    };
+    detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune, hint);
+  } else {
+    detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+  }
 }
 
 // Out-of-core LU decomposition without pivoting at block granularity.
-template <class T>
-void ooc_igep_lu(OocTiledMatrix<T>& m) {
+template <class T, class Inv>
+void ooc_igep_lu(OocTiledMatrix<T>& m, Inv& inv, OocTypedOptions opts = {}) {
   detail::check_ooc_typed(m);
   const index_t n = m.rows();
   const index_t bs = m.tile_side();
-  SeqInvoker inv;
   auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm,
                   BoxKind kind) {
     auto x = m.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
@@ -70,13 +102,25 @@ void ooc_igep_lu(OocTiledMatrix<T>& m) {
   auto prune = [](index_t i0, index_t j0, index_t k0, index_t) {
     return i0 < k0 || j0 < k0;
   };
-  detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+  if (opts.prefetch) {
+    auto hint = [&](index_t i0, index_t j0, index_t k0, index_t mm) {
+      if (mm > 2 * bs) return;
+      m.prefetch_tile(i0 / bs, j0 / bs);
+      m.prefetch_tile(i0 / bs, k0 / bs);
+      m.prefetch_tile(k0 / bs, j0 / bs);
+      m.prefetch_tile(k0 / bs, k0 / bs);
+    };
+    detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune, hint);
+  } else {
+    detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune);
+  }
 }
 
 // Out-of-core matrix multiplication C += A·B at block granularity.
-template <class T>
+template <class T, class Inv>
 void ooc_igep_matmul(OocTiledMatrix<T>& c, OocTiledMatrix<T>& a,
-                     OocTiledMatrix<T>& b) {
+                     OocTiledMatrix<T>& b, Inv& inv,
+                     OocTypedOptions opts = {}) {
   detail::check_ooc_typed(c);
   detail::check_ooc_typed(a);
   detail::check_ooc_typed(b);
@@ -86,14 +130,43 @@ void ooc_igep_matmul(OocTiledMatrix<T>& c, OocTiledMatrix<T>& a,
       b.tile_side() != bs) {
     throw std::invalid_argument("ooc matmul: shapes/tiles must match");
   }
-  SeqInvoker inv;
   auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm) {
     auto x = c.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
     auto u = a.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
     auto v = b.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
     kernel_mm(x.ptr, u.ptr, v.ptr, mm, bs, bs, bs);
   };
-  detail::mm_rec(inv, 0, 0, 0, n, bs, leaf);
+  if (opts.prefetch) {
+    auto hint = [&](index_t i0, index_t j0, index_t k0, index_t mm) {
+      if (mm > 2 * bs) return;
+      c.prefetch_tile(i0 / bs, j0 / bs);
+      a.prefetch_tile(i0 / bs, k0 / bs);
+      b.prefetch_tile(k0 / bs, j0 / bs);
+    };
+    detail::mm_rec(inv, 0, 0, 0, n, bs, leaf, hint);
+  } else {
+    detail::mm_rec(inv, 0, 0, 0, n, bs, leaf);
+  }
+}
+
+// Back-compat single-argument forms: synchronous sequential execution.
+template <class T>
+void ooc_igep_floyd_warshall(OocTiledMatrix<T>& m) {
+  SeqInvoker inv;
+  ooc_igep_floyd_warshall(m, inv);
+}
+
+template <class T>
+void ooc_igep_lu(OocTiledMatrix<T>& m) {
+  SeqInvoker inv;
+  ooc_igep_lu(m, inv);
+}
+
+template <class T>
+void ooc_igep_matmul(OocTiledMatrix<T>& c, OocTiledMatrix<T>& a,
+                     OocTiledMatrix<T>& b) {
+  SeqInvoker inv;
+  ooc_igep_matmul(c, a, b, inv);
 }
 
 }  // namespace gep

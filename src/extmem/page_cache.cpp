@@ -1,8 +1,10 @@
 #include "extmem/page_cache.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/registry.hpp"
 
@@ -16,10 +18,30 @@ struct PageCacheObs {
   obs::Counter misses = obs::counter("extmem.page_cache.misses");
   obs::Counter evictions = obs::counter("extmem.page_cache.evictions");
   obs::Counter writebacks = obs::counter("extmem.page_cache.writebacks");
+  obs::Counter writebacks_async =
+      obs::counter("extmem.page_cache.writebacks_async");
+  obs::Counter prefetch_issued = obs::counter("extmem.prefetch.issued");
+  obs::Counter prefetch_completed = obs::counter("extmem.prefetch.completed");
+  obs::Counter prefetch_hits = obs::counter("extmem.prefetch.hits");
+  obs::Counter prefetch_redundant = obs::counter("extmem.prefetch.redundant");
+  obs::Counter prefetch_dropped = obs::counter("extmem.prefetch.dropped");
+  obs::Gauge queue_depth = obs::gauge("extmem.prefetch.queue_depth");
 };
 PageCacheObs& page_cache_obs() {
   static PageCacheObs o;
   return o;
+}
+
+// How long acquire() waits for another thread to unpin a frame before
+// concluding the cache is over-committed and throwing.
+constexpr auto kAllPinnedDeadline = std::chrono::milliseconds(250);
+
+// Sleeps off the realized slice of a transfer's modeled latency. Must be
+// called WITHOUT mu_ held — this is the latency prefetch overlaps.
+void realize_latency(const DiskModel& model, double sim_seconds) {
+  if (model.realize_fraction <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(
+      sim_seconds * model.realize_fraction));
 }
 
 }  // namespace
@@ -32,7 +54,7 @@ PageCache::PageCache(std::uint64_t capacity_bytes, std::uint64_t page_bytes,
   assert(page_bytes_ > 0);
   if (frame_count_ == 0) frame_count_ = 1;
   pool_ = make_aligned<char>(frame_count_ * page_bytes_);
-  frames_.assign(frame_count_, Frame{});
+  frames_ = std::make_unique<Frame[]>(frame_count_);
   lru_pos_.resize(frame_count_);
   for (std::size_t f = 0; f < frame_count_; ++f) {
     lru_.push_back(f);  // cold frames at the back
@@ -41,97 +63,373 @@ PageCache::PageCache(std::uint64_t capacity_bytes, std::uint64_t page_bytes,
   table_.reserve(frame_count_ * 2);
 }
 
-PageCache::~PageCache() { flush(); }
+PageCache::~PageCache() {
+  disable_async_io();
+  flush();
+}
 
 int PageCache::register_file(std::uint64_t pages) {
-  (void)pages;
+  std::lock_guard<std::mutex> lock(mu_);
   files_.push_back(std::make_unique<BlockFile>(page_bytes_));
+  bounds_.push_back(pages < kMaxPages ? pages : kMaxPages);
   return static_cast<int>(files_.size()) - 1;
 }
 
-void PageCache::evict(std::size_t frame) {
-  Frame& fr = frames_[frame];
-  if (!fr.valid) return;
-  ++stats_.evictions;
-  page_cache_obs().evictions.inc();
-  if (fr.dirty) {
-    const int file_id = static_cast<int>(fr.key >> 40);
-    const std::uint64_t page = fr.key & ((1ULL << 40) - 1);
-    files_[static_cast<std::size_t>(file_id)]->write_page(
-        page, pool_.get() + frame * page_bytes_);
-    ++stats_.page_outs;
-    page_cache_obs().writebacks.inc();
-    stats_.io_wait_seconds += model_.io_seconds(page_bytes_);
+void PageCache::check_key(int file_id, std::uint64_t page) const {
+  if (file_id < 0 || static_cast<std::size_t>(file_id) >= files_.size()) {
+    throw std::out_of_range("PageCache: unregistered file id");
   }
-  table_.erase(fr.key);
-  fr.valid = false;
-  fr.dirty = false;
-  ++epoch_;
+  if (page >= bounds_[static_cast<std::size_t>(file_id)]) {
+    throw std::out_of_range("PageCache: page beyond the file's bound");
+  }
+}
+
+PageCache::StatShard& PageCache::stat_cell() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned shard = next.fetch_add(1) % kStatShards;
+  return stat_shards_[shard];
+}
+
+void PageCache::add_double(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void PageCache::touch_lru(std::size_t frame) {
+  lru_.splice(lru_.begin(), lru_, lru_pos_[frame]);
+}
+
+std::size_t PageCache::write_behind_candidate() const {
+  // Only the LRU tail quarter: those frames are next in line for
+  // eviction, so a background flush there replaces a foreground
+  // write-back one-for-one instead of duplicating writes of hot pages.
+  std::size_t budget = frame_count_ / 4 + 1;
+  for (auto rit = lru_.rbegin(); rit != lru_.rend() && budget > 0; ++rit) {
+    const Frame& fr = frames_[*rit];
+    if (!fr.valid) continue;  // cold frames don't count against the budget
+    --budget;
+    if (fr.dirty && !fr.io_busy &&
+        fr.pins.load(std::memory_order_acquire) == 0) {
+      return *rit;
+    }
+  }
+  return kNoFrame;
+}
+
+std::size_t PageCache::pick_victim(std::unique_lock<std::mutex>& lock,
+                                   bool is_prefetch) {
+  const auto deadline = std::chrono::steady_clock::now() + kAllPinnedDeadline;
+  for (;;) {
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      Frame& fr = frames_[*rit];
+      if (!fr.io_busy && fr.pins.load(std::memory_order_acquire) == 0) {
+        return *rit;
+      }
+    }
+    // No evictable frame right now. The worker never blocks (a full
+    // cache just drops the hint); foreground faults wait for an I/O
+    // completion or an unpin, then rescan.
+    if (is_prefetch) return kNoFrame;
+    if (io_in_flight_ > 0) {
+      io_cv_.wait(lock);
+      continue;
+    }
+    evict_waiters_.fetch_add(1, std::memory_order_relaxed);
+    const auto st = io_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    evict_waiters_.fetch_sub(1, std::memory_order_relaxed);
+    (void)st;
+    if (std::chrono::steady_clock::now() >= deadline && io_in_flight_ == 0) {
+      throw std::runtime_error("PageCache: every frame is pinned");
+    }
+  }
+}
+
+// Returns the frame holding (file_id, page) with its contents resident,
+// faulting it in if needed. mu_ is held on entry and exit but released
+// around the disk transfers (the frame is marked io_busy meanwhile).
+// Prefetch calls never block on concurrent I/O and may return kNoFrame.
+std::size_t PageCache::resident_frame(std::unique_lock<std::mutex>& lock,
+                                      int file_id, std::uint64_t page,
+                                      bool for_write, bool is_prefetch) {
+  check_key(file_id, page);
+  StatShard& st = stat_cell();
+  if (!is_prefetch) st.pins.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t key = make_key(file_id, page);
+  for (;;) {
+    auto it = table_.find(key);
+    if (it == table_.end()) break;
+    Frame& fr = frames_[it->second];
+    if (fr.io_busy) {
+      if (is_prefetch) {
+        // Already being faulted (or its frame is mid-writeback): the
+        // hint has done its job or cannot help; don't stall the worker.
+        st.prefetch_redundant.fetch_add(1, std::memory_order_relaxed);
+        page_cache_obs().prefetch_redundant.inc();
+        return kNoFrame;
+      }
+      io_cv_.wait(lock);
+      continue;  // re-lookup: the mapping may have changed
+    }
+    // Resident.
+    if (is_prefetch) {
+      st.prefetch_redundant.fetch_add(1, std::memory_order_relaxed);
+      page_cache_obs().prefetch_redundant.inc();
+      touch_lru(it->second);  // the hint says it's about to be used
+      return it->second;
+    }
+    st.hits.fetch_add(1, std::memory_order_relaxed);
+    page_cache_obs().hits.inc();
+    if (fr.prefetched) {
+      fr.prefetched = false;
+      st.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+      page_cache_obs().prefetch_hits.inc();
+    }
+    touch_lru(it->second);
+    if (for_write) fr.dirty = true;
+    return it->second;
+  }
+  // Fault: repurpose the least-recently-used unlocked frame.
+  const std::size_t frame = pick_victim(lock, is_prefetch);
+  if (frame == kNoFrame) {
+    st.prefetch_dropped.fetch_add(1, std::memory_order_relaxed);
+    page_cache_obs().prefetch_dropped.inc();
+    return kNoFrame;
+  }
+  if (!is_prefetch) page_cache_obs().misses.inc();
+  Frame& fr = frames_[frame];
+  const bool old_valid = fr.valid;
+  const bool old_dirty = fr.dirty;
+  const std::uint64_t old_key = fr.key;
+  fr.io_busy = true;
+  ++io_in_flight_;
+  // Publish the new mapping before dropping the lock so a concurrent
+  // request for this page waits on io_busy instead of double-faulting.
+  // The old mapping stays until the write-back below completes: anyone
+  // wanting the old page waits, then re-faults against the fresh file
+  // contents.
+  table_[key] = frame;
+  BlockFile* old_file =
+      old_valid && old_dirty
+          ? files_[static_cast<std::size_t>(key_file(old_key))].get()
+          : nullptr;
+  BlockFile* new_file = files_[static_cast<std::size_t>(file_id)].get();
+  char* buf = pool_.get() + frame * page_bytes_;
+  lock.unlock();
+  double wait = 0;
+  if (old_file != nullptr) {
+    old_file->write_page(key_page(old_key), buf);
+    st.page_outs.fetch_add(1, std::memory_order_relaxed);
+    page_cache_obs().writebacks.inc();
+    wait += model_.io_seconds(page_bytes_);
+  }
+  new_file->read_page(page, buf);
+  st.page_ins.fetch_add(1, std::memory_order_relaxed);
+  wait += model_.io_seconds(page_bytes_);
+  add_double(st.io_wait, wait);
+  if (is_prefetch) add_double(st.io_wait_async, wait);
+  realize_latency(model_, wait);
+  lock.lock();
+  if (old_valid) {
+    table_.erase(old_key);
+    st.evictions.fetch_add(1, std::memory_order_relaxed);
+    page_cache_obs().evictions.inc();
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  fr.key = key;
+  fr.valid = true;
+  fr.dirty = !is_prefetch && for_write;
+  fr.prefetched = is_prefetch;
+  fr.io_busy = false;
+  --io_in_flight_;
+  touch_lru(frame);
+  if (is_prefetch) {
+    st.prefetch_completed.fetch_add(1, std::memory_order_relaxed);
+    page_cache_obs().prefetch_completed.inc();
+  }
+  io_cv_.notify_all();
+  return frame;
 }
 
 void* PageCache::pin(int file_id, std::uint64_t page, bool for_write) {
-  ++stats_.pins;
-  const std::uint64_t key = make_key(file_id, page);
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    ++stats_.hits;
-    page_cache_obs().hits.inc();
-    const std::size_t frame = it->second;
-    lru_.splice(lru_.begin(), lru_, lru_pos_[frame]);  // bump to MRU
-    if (for_write) frames_[frame].dirty = true;
-    return pool_.get() + frame * page_bytes_;
-  }
-  // Fault: repurpose the least-recently-used UNLOCKED frame.
-  std::size_t frame = frame_count_;  // sentinel
-  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
-    if (frames_[*rit].pins == 0) {
-      frame = *rit;
-      break;
-    }
-  }
-  if (frame == frame_count_) {
-    throw std::runtime_error("PageCache: every frame is pinned");
-  }
-  evict(frame);
-  page_cache_obs().misses.inc();
-  files_[static_cast<std::size_t>(file_id)]->read_page(
-      page, pool_.get() + frame * page_bytes_);
-  ++stats_.page_ins;
-  stats_.io_wait_seconds += model_.io_seconds(page_bytes_);
-  frames_[frame] = Frame{key, 0, true, for_write};
-  table_[key] = frame;
-  lru_.splice(lru_.begin(), lru_, lru_pos_[frame]);
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t frame =
+      resident_frame(lock, file_id, page, for_write, /*is_prefetch=*/false);
   return pool_.get() + frame * page_bytes_;
 }
 
 PageCache::PagePin PageCache::acquire(int file_id, std::uint64_t page,
                                       bool for_write) {
-  void* data = pin(file_id, page, for_write);
+  std::unique_lock<std::mutex> lock(mu_);
   const std::size_t frame =
-      static_cast<std::size_t>(static_cast<char*>(data) - pool_.get()) /
-      page_bytes_;
-  frames_[frame].pins += 1;
-  return PagePin(this, frame, data);
+      resident_frame(lock, file_id, page, for_write, /*is_prefetch=*/false);
+  frames_[frame].pins.fetch_add(1, std::memory_order_acq_rel);
+  return PagePin(this, frame, pool_.get() + frame * page_bytes_);
 }
 
 void PageCache::unpin_frame(std::size_t frame) {
-  assert(frames_[frame].pins > 0);
-  frames_[frame].pins -= 1;
+  const int prev = frames_[frame].pins.fetch_sub(1, std::memory_order_acq_rel);
+  assert(prev > 0);
+  (void)prev;
+  if (evict_waiters_.load(std::memory_order_relaxed) > 0) io_cv_.notify_all();
+}
+
+void PageCache::prefetch(int file_id, std::uint64_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_key(file_id, page);
+  StatShard& st = stat_cell();
+  st.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+  page_cache_obs().prefetch_issued.inc();
+  if (!worker_running_) {
+    st.prefetch_dropped.fetch_add(1, std::memory_order_relaxed);
+    page_cache_obs().prefetch_dropped.inc();
+    return;
+  }
+  if (table_.count(make_key(file_id, page)) != 0) {
+    st.prefetch_redundant.fetch_add(1, std::memory_order_relaxed);
+    page_cache_obs().prefetch_redundant.inc();
+    return;
+  }
+  if (prefetch_q_.size() >= kMaxPrefetchQueue) {
+    st.prefetch_dropped.fetch_add(1, std::memory_order_relaxed);
+    page_cache_obs().prefetch_dropped.inc();
+    return;
+  }
+  prefetch_q_.push_back({file_id, page});
+  page_cache_obs().queue_depth.set(static_cast<double>(prefetch_q_.size()));
+  work_cv_.notify_one();
+}
+
+void PageCache::io_worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!worker_stop_) {
+    if (!prefetch_q_.empty()) {
+      const PrefetchRequest req = prefetch_q_.front();
+      prefetch_q_.pop_front();
+      page_cache_obs().queue_depth.set(
+          static_cast<double>(prefetch_q_.size()));
+      resident_frame(lock, req.file_id, req.page, /*for_write=*/false,
+                     /*is_prefetch=*/true);
+      continue;
+    }
+    // Idle: flush one about-to-be-evicted dirty frame so the next fault
+    // finds it clean (write-back overlapped with compute).
+    const std::size_t f = write_behind_candidate();
+    if (f != kNoFrame) {
+      Frame& fr = frames_[f];
+      fr.io_busy = true;
+      ++io_in_flight_;
+      BlockFile* file = files_[static_cast<std::size_t>(key_file(fr.key))].get();
+      const std::uint64_t page = key_page(fr.key);
+      char* buf = pool_.get() + f * page_bytes_;
+      lock.unlock();
+      file->write_page(page, buf);
+      const double wait = model_.io_seconds(page_bytes_);
+      StatShard& st = stat_cell();
+      st.page_outs.fetch_add(1, std::memory_order_relaxed);
+      st.writebacks_async.fetch_add(1, std::memory_order_relaxed);
+      page_cache_obs().writebacks.inc();
+      page_cache_obs().writebacks_async.inc();
+      add_double(st.io_wait, wait);
+      add_double(st.io_wait_async, wait);
+      realize_latency(model_, wait);
+      lock.lock();
+      fr.dirty = false;
+      fr.io_busy = false;
+      --io_in_flight_;
+      io_cv_.notify_all();
+      continue;
+    }
+    work_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void PageCache::enable_async_io() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker_running_) return;
+  worker_running_ = true;
+  worker_stop_ = false;
+  io_worker_ = std::thread([this] { io_worker_loop(); });
+}
+
+void PageCache::disable_async_io() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!worker_running_) return;
+    worker_stop_ = true;
+  }
+  work_cv_.notify_all();
+  io_worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  worker_running_ = false;
+  prefetch_q_.clear();
+  page_cache_obs().queue_depth.set(0.0);
+}
+
+bool PageCache::async_io_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return worker_running_;
+}
+
+std::size_t PageCache::prefetch_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return prefetch_q_.size();
 }
 
 void PageCache::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  StatShard& st = stat_cell();
   for (std::size_t f = 0; f < frame_count_; ++f) {
+    while (frames_[f].io_busy) io_cv_.wait(lock);
     Frame& fr = frames_[f];
     if (fr.valid && fr.dirty) {
-      const int file_id = static_cast<int>(fr.key >> 40);
-      const std::uint64_t page = fr.key & ((1ULL << 40) - 1);
-      files_[static_cast<std::size_t>(file_id)]->write_page(
-          page, pool_.get() + f * page_bytes_);
-      ++stats_.page_outs;
+      files_[static_cast<std::size_t>(key_file(fr.key))]->write_page(
+          key_page(fr.key), pool_.get() + f * page_bytes_);
+      st.page_outs.fetch_add(1, std::memory_order_relaxed);
       page_cache_obs().writebacks.inc();
-      stats_.io_wait_seconds += model_.io_seconds(page_bytes_);
+      add_double(st.io_wait, model_.io_seconds(page_bytes_));
       fr.dirty = false;
     }
+  }
+}
+
+PageCacheStats PageCache::stats() const {
+  PageCacheStats s;
+  for (const StatShard& c : stat_shards_) {
+    s.pins += c.pins.load(std::memory_order_relaxed);
+    s.hits += c.hits.load(std::memory_order_relaxed);
+    s.page_ins += c.page_ins.load(std::memory_order_relaxed);
+    s.page_outs += c.page_outs.load(std::memory_order_relaxed);
+    s.evictions += c.evictions.load(std::memory_order_relaxed);
+    s.prefetch_issued += c.prefetch_issued.load(std::memory_order_relaxed);
+    s.prefetch_completed +=
+        c.prefetch_completed.load(std::memory_order_relaxed);
+    s.prefetch_redundant +=
+        c.prefetch_redundant.load(std::memory_order_relaxed);
+    s.prefetch_hits += c.prefetch_hits.load(std::memory_order_relaxed);
+    s.prefetch_dropped += c.prefetch_dropped.load(std::memory_order_relaxed);
+    s.writebacks_async += c.writebacks_async.load(std::memory_order_relaxed);
+    s.io_wait_seconds += c.io_wait.load(std::memory_order_relaxed);
+    s.io_wait_async_seconds += c.io_wait_async.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void PageCache::reset_stats() {
+  for (StatShard& c : stat_shards_) {
+    c.pins.store(0, std::memory_order_relaxed);
+    c.hits.store(0, std::memory_order_relaxed);
+    c.page_ins.store(0, std::memory_order_relaxed);
+    c.page_outs.store(0, std::memory_order_relaxed);
+    c.evictions.store(0, std::memory_order_relaxed);
+    c.prefetch_issued.store(0, std::memory_order_relaxed);
+    c.prefetch_completed.store(0, std::memory_order_relaxed);
+    c.prefetch_redundant.store(0, std::memory_order_relaxed);
+    c.prefetch_hits.store(0, std::memory_order_relaxed);
+    c.prefetch_dropped.store(0, std::memory_order_relaxed);
+    c.writebacks_async.store(0, std::memory_order_relaxed);
+    c.io_wait.store(0.0, std::memory_order_relaxed);
+    c.io_wait_async.store(0.0, std::memory_order_relaxed);
   }
 }
 

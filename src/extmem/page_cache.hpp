@@ -6,11 +6,28 @@
 // by all its containers). M and B are the user-set knobs the paper
 // sweeps in Fig. 7(a) and 7(b). Every page transfer is charged to the
 // DiskModel, accumulating the simulated I/O wait time the figure plots.
+//
+// Concurrency model (docs/EXTMEM.md has the full contract):
+//  - The frame table / LRU / frame metadata are guarded by one mutex;
+//    page I/O itself runs OUTSIDE the lock with the frame marked busy,
+//    so independent faults and the async worker overlap on the disk.
+//  - Pin counts are atomic; acquire()/PagePin is the thread-safe API.
+//    Raw pin() returns an unlocked pointer and is single-threaded only.
+//  - Stats are sharded per-thread cells (the src/obs registry pattern)
+//    aggregated on demand by stats().
+//  - An optional async I/O worker (enable_async_io) services a prefetch
+//    queue and opportunistically writes back dirty LRU-tail frames, both
+//    charged to the DiskModel as overlapped (async) I/O wait.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -26,27 +43,56 @@ struct PageCacheStats {
   std::uint64_t page_ins = 0;   // transfers disk -> cache
   std::uint64_t page_outs = 0;  // dirty write-backs cache -> disk
   std::uint64_t evictions = 0;  // frames repurposed
-  double io_wait_seconds = 0;   // simulated (DiskModel)
+  std::uint64_t prefetch_issued = 0;     // prefetch() calls
+  std::uint64_t prefetch_completed = 0;  // pages faulted in by the worker
+  std::uint64_t prefetch_redundant = 0;  // hint found the page resident
+  std::uint64_t prefetch_hits = 0;       // pins served by a prefetched page
+  std::uint64_t prefetch_dropped = 0;    // queue full / worker not running
+  std::uint64_t writebacks_async = 0;    // background (overlapped) flushes
+  double io_wait_seconds = 0;        // simulated (DiskModel), all transfers
+  double io_wait_async_seconds = 0;  // portion done off the critical path
 
   std::uint64_t io() const { return page_ins + page_outs; }
   // Every pin is either a hit or a fault, so hits + misses == pins.
   std::uint64_t misses() const { return pins - hits; }
+  // Fraction of worker-completed prefetches later consumed by a pin.
+  double prefetch_hit_rate() const {
+    return prefetch_completed == 0
+               ? 0.0
+               : static_cast<double>(prefetch_hits) /
+                     static_cast<double>(prefetch_completed);
+  }
+  // Simulated wait actually blocking compute (total minus overlapped).
+  double io_wait_foreground_seconds() const {
+    return io_wait_seconds - io_wait_async_seconds;
+  }
 };
 
 class PageCache {
  public:
+  // Page ids are packed into 40 bits of the frame-table key.
+  static constexpr std::uint64_t kMaxPages = 1ULL << 40;
+
   // capacity_bytes = M, page_bytes = B. Needs at least one frame.
   PageCache(std::uint64_t capacity_bytes, std::uint64_t page_bytes,
             DiskModel model = {});
   ~PageCache();
 
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
   // Registers a backing file (created by the cache, page size = B).
-  // Returns a file id used by pin(). `pages` bounds the address space.
+  // Returns a file id used by pin(). `pages` bounds the address space:
+  // any access at page >= min(pages, kMaxPages) throws std::out_of_range
+  // (an unchecked id would silently alias another file's pages in the
+  // 40-bit key).
   int register_file(std::uint64_t pages);
 
   // Returns the in-memory frame holding the page, faulting it in if
   // needed; marks it dirty when for_write. The pointer stays valid until
-  // the next pin() call (which may evict it).
+  // the next pin() call (which may evict it). SINGLE-THREADED ONLY, and
+  // incompatible with the async worker (which may evict the unlocked
+  // frame at any time) — concurrent callers must use acquire().
   void* pin(int file_id, std::uint64_t page, bool for_write);
 
   // RAII pin: the page's frame cannot be evicted while a PagePin exists.
@@ -60,13 +106,17 @@ class PageCache {
     PagePin(PagePin&& o) noexcept
         : cache_(o.cache_), frame_(o.frame_), data_(o.data_) {
       o.cache_ = nullptr;
+      o.data_ = nullptr;
     }
     PagePin& operator=(PagePin&& o) noexcept {
-      release();
-      cache_ = o.cache_;
-      frame_ = o.frame_;
-      data_ = o.data_;
-      o.cache_ = nullptr;
+      if (this != &o) {  // self-move must not drop the pin
+        release();
+        cache_ = o.cache_;
+        frame_ = o.frame_;
+        data_ = o.data_;
+        o.cache_ = nullptr;
+        o.data_ = nullptr;
+      }
       return *this;
     }
     PagePin(const PagePin&) = delete;
@@ -79,6 +129,7 @@ class PageCache {
       if (cache_ != nullptr) {
         cache_->unpin_frame(frame_);
         cache_ = nullptr;
+        data_ = nullptr;
       }
     }
 
@@ -88,47 +139,118 @@ class PageCache {
     void* data_ = nullptr;
   };
 
-  // Pins and locks a page. Throws std::runtime_error when every frame is
-  // already locked (the cache must have headroom for the concurrent pins
-  // an algorithm holds — 4 tiles for the GEP kernels).
+  // Pins and locks a page; thread-safe. When every frame is pinned the
+  // call waits for an unpin (bounded), then throws std::runtime_error —
+  // the cache must have headroom for the concurrent pins the algorithms
+  // hold (4 tiles per in-flight GEP leaf).
   PagePin acquire(int file_id, std::uint64_t page, bool for_write);
 
-  // Write back all dirty frames (counts as I/O).
+  // Hints that `page` will be pinned soon. With the async worker running
+  // the page is faulted in from a background thread so the eventual pin
+  // hits; without it the hint is counted as dropped. Never blocks.
+  void prefetch(int file_id, std::uint64_t page);
+
+  // Starts/stops the background I/O worker (prefetch + write-behind).
+  // Idempotent; the destructor stops it automatically.
+  void enable_async_io();
+  void disable_async_io();
+  bool async_io_enabled() const;
+
+  // Current depth of the prefetch queue (diagnostics).
+  std::size_t prefetch_queue_depth() const;
+
+  // Write back all dirty frames (counts as foreground I/O).
   void flush();
 
   // Monotonic counter bumped whenever any frame is repurposed; lets
   // callers revalidate cached frame pointers cheaply.
-  std::uint64_t eviction_epoch() const { return epoch_; }
+  std::uint64_t eviction_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
-  const PageCacheStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = PageCacheStats{}; }
+  // Aggregates the per-thread stat cells.
+  PageCacheStats stats() const;
+  void reset_stats();
   std::uint64_t page_bytes() const { return page_bytes_; }
   std::uint64_t frames() const { return frame_count_; }
 
  private:
+  static constexpr int kStatShards = 16;
+  static constexpr std::size_t kNoFrame = ~std::size_t{0};
+  static constexpr std::size_t kMaxPrefetchQueue = 1024;
+
   struct Frame {
-    std::uint64_t key = 0;  // (file_id << 40) | page
-    int pins = 0;           // eviction-locked while > 0
+    std::uint64_t key = 0;         // (file_id << 40) | page
+    std::atomic<int> pins{0};      // eviction-locked while > 0
     bool valid = false;
     bool dirty = false;
+    bool io_busy = false;      // fault-in or write-back in flight
+    bool prefetched = false;   // filled by the worker, not yet pinned
   };
+
+  // Per-thread stat cells; aggregated by stats(). Doubles use a CAS add
+  // so sequential accumulation stays bit-identical to the old field.
+  struct alignas(64) StatShard {
+    std::atomic<std::uint64_t> pins{0}, hits{0}, page_ins{0}, page_outs{0},
+        evictions{0};
+    std::atomic<std::uint64_t> prefetch_issued{0}, prefetch_completed{0},
+        prefetch_redundant{0}, prefetch_hits{0}, prefetch_dropped{0},
+        writebacks_async{0};
+    std::atomic<double> io_wait{0.0}, io_wait_async{0.0};
+  };
+
+  struct PrefetchRequest {
+    int file_id;
+    std::uint64_t page;
+  };
+
   void unpin_frame(std::size_t frame);
   static std::uint64_t make_key(int file_id, std::uint64_t page) {
     return (static_cast<std::uint64_t>(file_id) << 40) | page;
   }
-  void evict(std::size_t frame);
+  static int key_file(std::uint64_t key) { return static_cast<int>(key >> 40); }
+  static std::uint64_t key_page(std::uint64_t key) {
+    return key & (kMaxPages - 1);
+  }
+
+  // All four require mu_ held (resident_frame/pick_victim may drop and
+  // reacquire it around disk transfers).
+  void check_key(int file_id, std::uint64_t page) const;
+  std::size_t resident_frame(std::unique_lock<std::mutex>& lock, int file_id,
+                             std::uint64_t page, bool for_write,
+                             bool is_prefetch);
+  std::size_t pick_victim(std::unique_lock<std::mutex>& lock,
+                          bool is_prefetch);
+  std::size_t write_behind_candidate() const;
+
+  void io_worker_loop();
+  void touch_lru(std::size_t frame);
+  StatShard& stat_cell();
+  static void add_double(std::atomic<double>& a, double d);
 
   std::uint64_t page_bytes_;
   std::uint64_t frame_count_;
   DiskModel model_;
   AlignedPtr<char> pool_;                  // frame_count_ x page_bytes_
-  std::vector<Frame> frames_;
-  std::list<std::size_t> lru_;             // front = MRU, holds frame ids
+  std::unique_ptr<Frame[]> frames_;
+
+  mutable std::mutex mu_;
+  std::condition_variable io_cv_;    // I/O completion + unpin wakeups
+  std::condition_variable work_cv_;  // async worker's queue signal
+  std::list<std::size_t> lru_;       // front = MRU, holds frame ids
   std::vector<std::list<std::size_t>::iterator> lru_pos_;
   std::unordered_map<std::uint64_t, std::size_t> table_;  // key -> frame
   std::vector<std::unique_ptr<BlockFile>> files_;
-  PageCacheStats stats_;
-  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> bounds_;  // per-file page-count bound
+  std::deque<PrefetchRequest> prefetch_q_;
+  int io_in_flight_ = 0;        // frames with io_busy set
+  bool worker_running_ = false;
+  bool worker_stop_ = false;
+
+  std::atomic<int> evict_waiters_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  StatShard stat_shards_[kStatShards];
+  std::thread io_worker_;
 };
 
 }  // namespace gep

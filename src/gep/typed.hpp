@@ -18,6 +18,8 @@
 // kernels in kernels.hpp.
 #pragma once
 
+#include <type_traits>
+
 #include "gep/kernels.hpp"
 #include "layout/zblocked.hpp"
 #include "matrix/matrix.hpp"
@@ -63,10 +65,16 @@ inline TypedMetrics& typed_metrics() {
 }
 #endif
 
-template <class Inv, class Leaf, class Prune>
+// Default hint: the in-core engines pass nothing, and the if constexpr
+// checks below make the hint plumbing compile away entirely for them.
+struct NoHint {
+  void operator()(index_t, index_t, index_t, index_t) const {}
+};
+
+template <class Inv, class Leaf, class Prune, class Hint = NoHint>
 void typed_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
                index_t bs, const Leaf& leaf, const Prune& prune,
-               int depth = 0) {
+               const Hint& hint = {}, int depth = 0) {
   if (prune(i0, j0, k0, m)) return;
   const bool ik = (i0 == k0), jk = (j0 == k0);
   const BoxKind kind = ik ? (jk ? BoxKind::A : BoxKind::B)
@@ -86,26 +94,59 @@ void typed_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
   const index_t h = m / 2;
   const index_t ka = k0, kb = k0 + h;
   auto R = [&](index_t ii, index_t jj, index_t kk) {
-    typed_rec(inv, ii, jj, kk, h, bs, leaf, prune, depth + 1);
+    typed_rec(inv, ii, jj, kk, h, bs, leaf, prune, hint, depth + 1);
+  };
+  // Prefetch hook: announce the (ii,jj,kk,h) subtrees of the NEXT stage
+  // just before the current stage runs, giving the async I/O worker one
+  // stage of compute to hide the fault behind (hint receivers derive the
+  // subtree's first-leaf tiles from these corner coordinates). Pruned
+  // subtrees execute nothing, so hinting them would pollute the cache.
+  auto H = [&](index_t ii, index_t jj, index_t kk) {
+    if constexpr (!std::is_same_v<Hint, NoHint>) {
+      if (!prune(ii, jj, kk, h)) hint(ii, jj, kk, h);
+    }
   };
   if (ik && jk) {  // A (Fig. 6 top): A; par{B,C}; D — per k-half
+    H(i0, j0 + h, ka);
+    H(i0 + h, j0, ka);
     R(i0, j0, ka);
+    H(i0 + h, j0 + h, ka);
     inv.invoke([&] { R(i0, j0 + h, ka); }, [&] { R(i0 + h, j0, ka); });
+    H(i0 + h, j0 + h, kb);
     R(i0 + h, j0 + h, ka);
+    H(i0 + h, j0, kb);
+    H(i0, j0 + h, kb);
     R(i0 + h, j0 + h, kb);
+    H(i0, j0, kb);
     inv.invoke([&] { R(i0 + h, j0, kb); }, [&] { R(i0, j0 + h, kb); });
     R(i0, j0, kb);
   } else if (ik) {  // B: row panels share U; columns split
+    H(i0 + h, j0, ka);
+    H(i0 + h, j0 + h, ka);
     inv.invoke([&] { R(i0, j0, ka); }, [&] { R(i0, j0 + h, ka); });
+    H(i0 + h, j0, kb);
+    H(i0 + h, j0 + h, kb);
     inv.invoke([&] { R(i0 + h, j0, ka); }, [&] { R(i0 + h, j0 + h, ka); });
+    H(i0, j0, kb);
+    H(i0, j0 + h, kb);
     inv.invoke([&] { R(i0 + h, j0, kb); }, [&] { R(i0 + h, j0 + h, kb); });
     inv.invoke([&] { R(i0, j0, kb); }, [&] { R(i0, j0 + h, kb); });
   } else if (jk) {  // C: column panels share V; rows split
+    H(i0, j0 + h, ka);
+    H(i0 + h, j0 + h, ka);
     inv.invoke([&] { R(i0, j0, ka); }, [&] { R(i0 + h, j0, ka); });
+    H(i0, j0 + h, kb);
+    H(i0 + h, j0 + h, kb);
     inv.invoke([&] { R(i0, j0 + h, ka); }, [&] { R(i0 + h, j0 + h, ka); });
+    H(i0, j0, kb);
+    H(i0 + h, j0, kb);
     inv.invoke([&] { R(i0, j0 + h, kb); }, [&] { R(i0 + h, j0 + h, kb); });
     inv.invoke([&] { R(i0, j0, kb); }, [&] { R(i0 + h, j0, kb); });
   } else {  // D: fully disjoint; each k-half is one parallel stage
+    H(i0, j0, kb);
+    H(i0, j0 + h, kb);
+    H(i0 + h, j0, kb);
+    H(i0 + h, j0 + h, kb);
     inv.invoke([&] { R(i0, j0, ka); }, [&] { R(i0, j0 + h, ka); },
                [&] { R(i0 + h, j0, ka); }, [&] { R(i0 + h, j0 + h, ka); });
     inv.invoke([&] { R(i0, j0, kb); }, [&] { R(i0, j0 + h, kb); },
@@ -116,9 +157,10 @@ void typed_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
 // Matrix multiplication C += A·B is I-GEP's D function over three
 // disjoint matrices; both k-halves of every level are single parallel
 // stages, giving span O(n) (end of Section 3).
-template <class Inv, class Leaf>
+template <class Inv, class Leaf, class Hint = NoHint>
 void mm_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
-            index_t bs, const Leaf& leaf, int depth = 0) {
+            index_t bs, const Leaf& leaf, const Hint& hint = {},
+            int depth = 0) {
   obs::ScopedSpan span('D', depth, i0, j0, k0, m);
   if (m <= bs) {
 #if GEP_OBS
@@ -132,8 +174,15 @@ void mm_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
   }
   const index_t h = m / 2;
   auto R = [&](index_t ii, index_t jj, index_t kk) {
-    mm_rec(inv, ii, jj, kk, h, bs, leaf, depth + 1);
+    mm_rec(inv, ii, jj, kk, h, bs, leaf, hint, depth + 1);
   };
+  // Same one-stage-ahead prefetch hook as typed_rec (nothing prunes).
+  if constexpr (!std::is_same_v<Hint, NoHint>) {
+    hint(i0, j0, k0 + h, h);
+    hint(i0, j0 + h, k0 + h, h);
+    hint(i0 + h, j0, k0 + h, h);
+    hint(i0 + h, j0 + h, k0 + h, h);
+  }
   for (index_t kk : {k0, k0 + h}) {
     inv.invoke([&] { R(i0, j0, kk); }, [&] { R(i0, j0 + h, kk); },
                [&] { R(i0 + h, j0, kk); }, [&] { R(i0 + h, j0 + h, kk); });

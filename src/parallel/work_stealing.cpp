@@ -1,5 +1,7 @@
 #include "parallel/work_stealing.hpp"
 
+#include <utility>
+
 namespace gep {
 namespace {
 
@@ -63,7 +65,12 @@ WorkStealingPool::WorkStealingPool(int threads)
 }
 
 WorkStealingPool::~WorkStealingPool() {
-  stop_.store(true);
+  {
+    // Publish under the sleep mutex so a worker between its predicate
+    // check and blocking cannot miss the shutdown notification.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    stop_.store(true);
+  }
   sleep_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
@@ -78,8 +85,16 @@ void WorkStealingPool::push(Task t) {
     std::lock_guard<std::mutex> lock(d.mu);
     d.q.push_back(std::move(t));
   }
-  pending_tasks_.fetch_add(1, std::memory_order_release);
-  sleep_cv_.notify_one();
+  pending_tasks_.fetch_add(1);  // seq_cst: ordered against sleepers_ below
+  if (sleepers_.load() > 0) {
+    // A worker may have evaluated the wait predicate (pending == 0) but
+    // not yet blocked; notifying in that window is lost and the worker
+    // sleeps its full timeout. Acquiring the sleep mutex serializes the
+    // publish with the predicate-to-block transition, so the notify
+    // below always reaches a parked (or about-to-recheck) worker.
+    { std::lock_guard<std::mutex> lock(sleep_mu_); }
+    sleep_cv_.notify_one();
+  }
 }
 
 bool WorkStealingPool::try_run_one() {
@@ -126,7 +141,15 @@ bool WorkStealingPool::try_run_one() {
   deques_[static_cast<std::size_t>(me)]->executed.fetch_add(
       1, std::memory_order_relaxed);
   obs_executed().inc();
-  task.fn();
+  // A throwing task must still decrement pending_ (or every later wait()
+  // hangs) and must not unwind through the worker loop (std::terminate).
+  // Record the exception first: the group is guaranteed alive until its
+  // pending_ count reaches zero.
+  try {
+    task.fn();
+  } catch (...) {
+    task.group->record_exception(std::current_exception());
+  }
   task.group->pending_.fetch_sub(1, std::memory_order_acq_rel);
   return true;
 }
@@ -140,10 +163,12 @@ void WorkStealingPool::worker_loop(int id) {
       const auto park_start = std::chrono::steady_clock::now();
       {
         std::unique_lock<std::mutex> lock(sleep_mu_);
+        sleepers_.fetch_add(1);  // seq_cst: visible to push()'s check
         sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
           return stop_.load(std::memory_order_acquire) ||
                  pending_tasks_.load(std::memory_order_acquire) > 0;
         });
+        sleepers_.fetch_sub(1);
       }
       mine.idle_wakes.fetch_add(1, std::memory_order_relaxed);
       mine.idle_ns.fetch_add(
@@ -161,18 +186,33 @@ void WorkStealingPool::worker_loop(int id) {
 
 void WsTaskGroup::run(std::function<void()> fn) {
   if (pool_ == nullptr || pool_->threads() <= 1) {
-    fn();
+    fn();  // inline: exceptions propagate directly to the caller
     return;
   }
   pending_.fetch_add(1, std::memory_order_acq_rel);
   pool_->push(WorkStealingPool::Task{std::move(fn), this});
 }
 
-void WsTaskGroup::wait() {
+void WsTaskGroup::record_exception(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(eptr_mu_);
+  if (!eptr_) eptr_ = std::move(e);  // keep the first failure
+}
+
+void WsTaskGroup::drain() {
   if (pool_ == nullptr) return;
   while (pending_.load(std::memory_order_acquire) > 0) {
     if (!pool_->try_run_one()) std::this_thread::yield();
   }
+}
+
+void WsTaskGroup::wait() {
+  drain();
+  std::exception_ptr e;
+  {
+    std::lock_guard<std::mutex> lock(eptr_mu_);
+    e = std::exchange(eptr_, nullptr);
+  }
+  if (e) std::rethrow_exception(e);
 }
 
 }  // namespace gep

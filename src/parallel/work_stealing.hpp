@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <condition_variable>
 #include <deque>
@@ -85,23 +86,38 @@ class WorkStealingPool {
   std::vector<std::thread> workers_;
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
+  // Workers currently parked (or about to park) in sleep_cv_. Publishers
+  // take sleep_mu_ only when this is non-zero, closing the lost-wakeup
+  // window (predicate evaluated, not yet blocked) without a lock on the
+  // fast path. Both counters use seq_cst so a parking worker's increment
+  // is visible to any push that its predicate check missed.
+  std::atomic<int> sleepers_{0};
   std::atomic<long> pending_tasks_{0};
   std::atomic<bool> stop_{false};
 };
 
 // Fork-join scope on a WorkStealingPool; wait() helps by running tasks.
+// A task that throws does not kill its worker: the first exception is
+// captured and rethrown from wait(). The destructor still drains the
+// scope but must swallow any unclaimed exception (destructors cannot
+// throw) — call wait() explicitly when task failures matter.
 class WsTaskGroup {
  public:
   explicit WsTaskGroup(WorkStealingPool* pool) : pool_(pool) {}
-  ~WsTaskGroup() { wait(); }
+  ~WsTaskGroup() { drain(); }
 
   void run(std::function<void()> fn);
   void wait();
 
  private:
   friend class WorkStealingPool;
+  void drain();  // blocks until pending_ == 0, never throws
+  void record_exception(std::exception_ptr e);
+
   WorkStealingPool* pool_;
   std::atomic<long> pending_{0};
+  std::mutex eptr_mu_;
+  std::exception_ptr eptr_;
 };
 
 // Invoker over a work-stealing pool (typed I-GEP engine concept).

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <utility>
 
 #include "extmem/ooc_matrix.hpp"
 #include "extmem/ooc_typed.hpp"
@@ -314,6 +315,57 @@ TEST(PagePin, AllFramesPinnedThrows) {
   auto p0 = cache.acquire(f, 0, false);
   auto p1 = cache.acquire(f, 1, false);
   EXPECT_THROW(cache.pin(f, 2, false), std::runtime_error);
+}
+
+TEST(PagePin, SelfMoveAssignmentKeepsPin) {
+  PageCache cache(2 * 256, 256);
+  int f = cache.register_file(8);
+  auto pin = cache.acquire(f, 0, true);
+  std::memset(pin.data(), 9, 256);
+  PageCache::PagePin& alias = pin;  // dodge -Wself-move
+  pin = std::move(alias);
+  ASSERT_NE(pin.data(), nullptr);  // self-move must not drop the pin
+  // Frame still locked: fault the other frame twice, page 0 survives.
+  cache.pin(f, 1, false);
+  cache.pin(f, 2, false);
+  EXPECT_EQ(static_cast<char*>(pin.data())[0], 9);
+}
+
+TEST(PagePin, MovedFromAndReleasedPinsReadNull) {
+  PageCache cache(2 * 256, 256);
+  int f = cache.register_file(8);
+  auto a = cache.acquire(f, 0, false);
+  auto b = std::move(a);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_NE(b.data(), nullptr);
+  b.release();
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(PageCache, OutOfRangePageOrFileThrows) {
+  PageCache cache(4 * 256, 256);
+  int f = cache.register_file(8);
+  EXPECT_THROW(cache.pin(f, 8, false), std::out_of_range);
+  EXPECT_THROW(cache.acquire(f, 1ULL << 40, false), std::out_of_range);
+  EXPECT_THROW(cache.pin(f + 1, 0, false), std::out_of_range);
+  EXPECT_THROW(cache.pin(-1, 0, false), std::out_of_range);
+  EXPECT_THROW(cache.prefetch(f, 8), std::out_of_range);
+  // In-range accesses still work.
+  EXPECT_NO_THROW(cache.pin(f, 7, false));
+  // A file larger than the 40-bit key space is clamped to it.
+  int g = cache.register_file(1ULL << 50);
+  EXPECT_THROW(cache.pin(g, 1ULL << 40, false), std::out_of_range);
+}
+
+TEST(PageCache, PrefetchWithoutWorkerIsCountedDropped) {
+  PageCache cache(4 * 256, 256);
+  int f = cache.register_file(8);
+  EXPECT_FALSE(cache.async_io_enabled());
+  cache.prefetch(f, 3);
+  const PageCacheStats s = cache.stats();
+  EXPECT_EQ(s.prefetch_issued, 1u);
+  EXPECT_EQ(s.prefetch_dropped, 1u);
+  EXPECT_EQ(s.page_ins, 0u);  // no I/O happened
 }
 
 TEST(OocTyped, FloydWarshallMatchesInCore) {

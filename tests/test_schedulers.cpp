@@ -3,10 +3,15 @@
 // matrix file I/O utility.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "gep/typed.hpp"
 #include "parallel/thread_pool.hpp"
@@ -51,6 +56,71 @@ TEST(WorkStealing, SingleThreadInline) {
   g.wait();
   EXPECT_EQ(count, 7);
   EXPECT_EQ(pool.steal_count(), 0);
+}
+
+TEST(WorkStealing, TaskExceptionPropagatesToWait) {
+  WorkStealingPool pool(4);
+  {
+    WsTaskGroup g(&pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) {
+      g.run([&, i] {
+        ran.fetch_add(1);
+        if (i == 5) throw std::runtime_error("leaf failed");
+      });
+    }
+    EXPECT_THROW(g.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 16);  // a throwing task doesn't kill the group
+  }
+  // The pool survives a failed group: no hung pending count, no dead
+  // worker — later groups run normally.
+  WsTaskGroup g2(&pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) g2.run([&] { count.fetch_add(1); });
+  g2.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(WorkStealing, GroupDestructorSwallowsUnclaimedException) {
+  WorkStealingPool pool(2);
+  {
+    WsTaskGroup g(&pool);
+    g.run([] { throw std::runtime_error("never waited on"); });
+    // ~WsTaskGroup drains without rethrowing (destructors cannot throw).
+  }
+  SUCCEED();
+}
+
+TEST(WorkStealing, PromptWakeupAfterPush) {
+  // Regression for the lost-wakeup race: push() used to notify without
+  // synchronizing with the sleep mutex, so a worker that had evaluated
+  // the wait predicate (pending == 0) but not yet blocked missed the
+  // notify and slept its full 1 ms timeout. With the fix, a parked
+  // worker must pick up freshly pushed work well under the timeout on
+  // average. The submitting thread only OBSERVES (no try_run_one help),
+  // so the latency measured is the worker's.
+  WorkStealingPool pool(2);
+  const int kIters = 50;
+  std::vector<double> lat_ms;
+  for (int it = 0; it < kIters; ++it) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));  // park worker
+    std::atomic<bool> done{false};
+    WsTaskGroup g(&pool);
+    const auto t0 = std::chrono::steady_clock::now();
+    g.run([&] { done.store(true, std::memory_order_release); });
+    while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+    lat_ms.push_back(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+    g.wait();
+  }
+  // Median, not mean: robust to preemption outliers on loaded CI boxes,
+  // while a systematic lost-wakeup (every affected push waits out the
+  // full 1 ms timeout) still drags it over the bound.
+  std::sort(lat_ms.begin(), lat_ms.end());
+  const double median_ms = lat_ms[kIters / 2];
+  EXPECT_LT(median_ms, 0.9) << "worst " << lat_ms.back() << " ms";
+  EXPECT_LT(lat_ms.back(), 500.0);
 }
 
 Matrix<double> random_dist(index_t n, std::uint64_t seed) {
