@@ -12,6 +12,8 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "extmem/ooc_matrix.hpp"
@@ -86,7 +88,22 @@ OocResult run_ooc(Algo algo, const Matrix<double>& init, std::uint64_t M,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --fault-rate=X: run the typed-engine legs through a deterministic
+  // FaultInjector (seed 42) at per-op probability X for read/write
+  // errors and in-flight bit flips (X/2 for torn writes). Results must
+  // still be bit-identical across legs; the robust.* recovery counters
+  // land in the BENCH JSON under report "fig7_outofcore_faults".
+  double fault_rate = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--fault-rate=", 13) == 0) {
+      fault_rate = std::strtod(arg + 13, nullptr);
+    } else {
+      std::fprintf(stderr, "usage: %s [--fault-rate=X]\n", argv[0]);
+      return 2;
+    }
+  }
   const double peak = bench::print_host_banner(
       "Figure 7: out-of-core I/O wait, GEP vs I-GEP vs C-GEP");
   const bool small = bench::small_run();
@@ -162,7 +179,19 @@ int main() {
   // legs must produce identical results (invoke() barriers keep stages'
   // X tiles disjoint).
   {
-    bench::BenchReport report("fig7_outofcore", peak);
+    bench::BenchReport report(
+        fault_rate > 0 ? "fig7_outofcore_faults" : "fig7_outofcore", peak);
+    RobustOptions robust;
+    if (fault_rate > 0) {
+      robust.faults.seed = 42;
+      robust.faults.p_read_error = fault_rate;
+      robust.faults.p_write_error = fault_rate;
+      robust.faults.p_bitflip_read = fault_rate;
+      robust.faults.p_torn_write = fault_rate / 2;
+      robust.retry.max_attempts = 10;  // survive flip-on-retry chains
+      std::printf("fault injection: rate %g, seed %llu\n\n", fault_rate,
+                  static_cast<unsigned long long>(robust.faults.seed));
+    }
     // M = n^2/2: the typed legs pin up to 4 tiles per worker, and the
     // prefetcher needs unpinned frames to land pages in — the n^2/4 cache
     // of the sweeps above would leave it almost no room at small scale.
@@ -184,7 +213,7 @@ int main() {
     DiskModel disk;
     disk.realize_fraction = 0.01;
     auto leg = [&](const char* label, bool parallel, bool prefetch) {
-      PageCache cache(M, B, disk);
+      PageCache cache(M, B, disk, robust);
       OocTiledMatrix<double> m(cache, n, n);
       m.load(init);
       cache.reset_stats();
@@ -207,6 +236,20 @@ int main() {
       report.annotate("prefetch_hit_rate", s.prefetch_hit_rate());
       report.annotate("threads", parallel ? threads : 1);
       if (t_sync > 0) report.annotate("speedup_vs_sync", t_sync / dt);
+      if (fault_rate > 0) {
+        report.annotate("fault_rate", fault_rate);
+        report.annotate("robust.retries", static_cast<double>(s.io_retries));
+        report.annotate("robust.crc_failures",
+                        static_cast<double>(s.crc_failures));
+        report.annotate("robust.io_hard_failures",
+                        static_cast<double>(s.io_hard_failures));
+        report.annotate("robust.writeback_failures",
+                        static_cast<double>(s.writeback_failures));
+        report.annotate("robust.prefetch_errors",
+                        static_cast<double>(s.prefetch_errors));
+        report.annotate("robust.async_degraded",
+                        static_cast<double>(s.async_degraded));
+      }
       td.add_row({label, Table::num(dt, 3), Table::num(s.io_wait_seconds, 2),
                   Table::integer(static_cast<long long>(s.io())),
                   Table::integer(static_cast<long long>(s.prefetch_hits)),

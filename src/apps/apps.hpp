@@ -77,6 +77,22 @@ void bottleneck_paths(Matrix<double>& cap, Engine engine,
 void transitive_closure(Matrix<std::uint8_t>& reach, Engine engine,
                         RunOptions opts = {});
 
+// Freivalds' randomized product check: with `iters` independent +-1
+// probe vectors r, verifies c r == a (b r) to within a floating-point
+// tolerance. O(n^2) per iteration; a wrong product escapes each probe
+// with probability <= 1/2, so `iters` probes bound the false-accept
+// rate by 2^-iters. Counts into robust.residual_checks/failures.
+bool freivalds_check(const Matrix<double>& c, const Matrix<double>& a,
+                     const Matrix<double>& b, int iters = 8,
+                     std::uint64_t seed = 1);
+
+// Accumulate form matching multiply_add: verifies
+// c_after == c_before + a * b.
+bool freivalds_check(const Matrix<double>& c_after,
+                     const Matrix<double>& c_before, const Matrix<double>& a,
+                     const Matrix<double>& b, int iters = 8,
+                     std::uint64_t seed = 1);
+
 // Distance value treated as "no edge" by helpers/benches.
 inline constexpr double kInfDist = 1e30;
 

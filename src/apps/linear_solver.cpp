@@ -75,6 +75,82 @@ Matrix<double> invert(Matrix<double> a, Engine engine, RunOptions opts) {
   return solve(std::move(a), eye, engine, opts);
 }
 
+NumericReport lu_decompose_guarded(Matrix<double>& a,
+                                   const BreakdownGuard& guard, Engine engine,
+                                   RunOptions opts) {
+  const index_t n = a.rows();
+  if (a.cols() != n) {
+    throw std::invalid_argument("lu_decompose_guarded: square only");
+  }
+  NumericReport rep;
+  const double amax = guard_max_abs(a);
+  const double tiny = guard.threshold(n, amax);
+  const Matrix<double> orig = a;  // retry base + residual reference
+  double shift = 0;
+  for (int round = 0;; ++round) {
+    lu_decompose(a, engine, opts);
+    double worst = 0;
+    const index_t bad = scan_lu_pivots(a, tiny, &worst);
+    if (bad < 0 && lu_factors_finite(a)) break;
+    ++rep.breakdowns;
+    detail_guard::numeric_obs().breakdowns.inc();
+    if (guard.policy == BreakdownPolicy::Throw) {
+      throw NumericBreakdownError(
+          bad >= 0 ? bad : 0, worst,
+          "lu_decompose_guarded: pivot " + std::to_string(bad) +
+              " has magnitude " + std::to_string(worst) + " <= " +
+              std::to_string(tiny) +
+              "; the no-pivot precondition does not hold");
+    }
+    if (guard.policy == BreakdownPolicy::Report ||
+        round >= guard.max_boost_rounds) {
+      break;  // hand the (possibly broken) factors to the caller
+    }
+    // Boost: factor the regularized system A + mu*I instead. The shift
+    // starts at boost_scale * |A|_max and grows 10x per retry.
+    shift = shift == 0 ? guard.boost_scale * (amax > 0 ? amax : 1.0)
+                       : shift * 10.0;
+    rep.diagonal_shift = shift;
+    ++rep.boosts;
+    detail_guard::numeric_obs().boosts.inc();
+    a = orig;
+    for (index_t i = 0; i < n; ++i) a(i, i) += shift;
+  }
+  const double lumax = guard_max_abs(a);
+  rep.growth_factor = amax > 0 ? lumax / amax : lumax;
+  if (guard.residual_samples > 0) {
+    // Validate against the matrix actually factored: orig + shift*I.
+    Matrix<double> target = orig;
+    for (index_t i = 0; shift != 0 && i < n; ++i) target(i, i) += shift;
+    const double r = lu_residual_sample(target, a, guard.residual_samples);
+    ++rep.residual_checks;
+    detail_guard::numeric_obs().residual_checks.inc();
+    rep.residual_max = r;
+    if (!(r <= guard.residual_limit)) {  // NaN counts as a failure
+      ++rep.residual_failures;
+      detail_guard::numeric_obs().residual_failures.inc();
+    }
+  }
+  return rep;
+}
+
+std::vector<double> solve_guarded(Matrix<double> a,
+                                  const std::vector<double>& b,
+                                  const BreakdownGuard& guard,
+                                  NumericReport* report, Engine engine,
+                                  RunOptions opts) {
+  const index_t n = a.rows();
+  if (a.cols() != n || b.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("solve_guarded: dimension mismatch");
+  }
+  const NumericReport rep = lu_decompose_guarded(a, guard, engine, opts);
+  std::vector<double> x = b;
+  forward_substitute(a, x);
+  backward_substitute(a, x);
+  if (report != nullptr) *report = rep;
+  return x;
+}
+
 double residual_inf(const Matrix<double>& a, const std::vector<double>& x,
                     const std::vector<double>& b) {
   const index_t n = a.rows();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "apps/apps.hpp"
+#include "gep/numeric_guard.hpp"
 #include "matrix/matrix.hpp"
 
 namespace gep::apps {
@@ -41,5 +42,31 @@ Matrix<double> invert(Matrix<double> a, Engine engine = Engine::IGep,
 // Max-norm residual ||A x - b||_inf (verification helper).
 double residual_inf(const Matrix<double>& a, const std::vector<double>& x,
                     const std::vector<double>& b);
+
+// Guarded LU (gep/numeric_guard.hpp): factors `a` in place, then
+// validates the factors post hoc — every pivot above the breakdown
+// threshold and every entry finite. On breakdown the policy decides:
+// Throw raises NumericBreakdownError; Report returns with the counts in
+// the report; Boost re-factors A + mu*I (standard diagonal
+// regularization, mu = boost_scale * |A|_max, x10 per retry round) until
+// the factorization is clean or max_boost_rounds is spent. The report
+// records breakdowns, boosts, the final shift, the growth factor
+// max|LU|/max|A|, and — when residual_samples > 0 — a row-sampled
+// relative ||A - LU|| residual checked against residual_limit.
+NumericReport lu_decompose_guarded(Matrix<double>& a,
+                                   const BreakdownGuard& guard,
+                                   Engine engine = Engine::IGep,
+                                   RunOptions opts = {});
+
+// solve() on top of lu_decompose_guarded. Under Boost with a shift the
+// returned x solves the regularized system (A + mu*I) x = b; inspect
+// report->diagonal_shift to know. Report (optional out) receives the
+// factorization's NumericReport.
+std::vector<double> solve_guarded(Matrix<double> a,
+                                  const std::vector<double>& b,
+                                  const BreakdownGuard& guard,
+                                  NumericReport* report = nullptr,
+                                  Engine engine = Engine::IGep,
+                                  RunOptions opts = {});
 
 }  // namespace gep::apps

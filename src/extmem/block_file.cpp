@@ -9,6 +9,23 @@
 #include <vector>
 
 namespace gep {
+namespace {
+
+// EAGAIN and device-level EIO are worth a bounded retry one layer up
+// (RobustStore); everything else (EBADF, EINVAL, EFBIG, ENOSPC...) is a
+// programming or capacity error a retry cannot fix.
+bool errno_is_transient(int err) { return err == EIO || err == EAGAIN; }
+
+[[noreturn]] void throw_io_error(IoError::Op op, std::uint64_t page,
+                                 int err) {
+  std::string what = std::string("BlockFile: ") +
+                     (op == IoError::Op::Read ? "pread" : "pwrite") +
+                     " failed at page " + std::to_string(page) + ": " +
+                     std::strerror(err);
+  throw IoError(op, page, err, errno_is_transient(err), what);
+}
+
+}  // namespace
 
 BlockFile::BlockFile(std::uint64_t page_bytes, const std::string& dir)
     : page_bytes_(page_bytes) {
@@ -35,7 +52,10 @@ void BlockFile::read_page(std::uint64_t page, void* buf) {
   while (got < page_bytes_) {
     ssize_t r = ::pread(fd_, static_cast<char*>(buf) + got,
                         page_bytes_ - got, off + static_cast<off_t>(got));
-    if (r < 0) throw std::runtime_error("BlockFile: pread failed");
+    if (r < 0) {
+      if (errno == EINTR) continue;  // interrupted syscall: just retry
+      throw_io_error(IoError::Op::Read, page, errno);
+    }
     if (r == 0) {  // beyond EOF: sparse page reads as zeros
       std::memset(static_cast<char*>(buf) + got, 0, page_bytes_ - got);
       return;
@@ -51,7 +71,11 @@ void BlockFile::write_page(std::uint64_t page, const void* buf) {
   while (put < page_bytes_) {
     ssize_t w = ::pwrite(fd_, static_cast<const char*>(buf) + put,
                          page_bytes_ - put, off + static_cast<off_t>(put));
-    if (w <= 0) throw std::runtime_error("BlockFile: pwrite failed");
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_io_error(IoError::Op::Write, page, errno);
+    }
+    if (w == 0) throw_io_error(IoError::Op::Write, page, ENOSPC);
     put += static_cast<std::uint64_t>(w);
   }
 }

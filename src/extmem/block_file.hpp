@@ -5,19 +5,24 @@
 // is created sparse). Real pread/pwrite I/O is performed — the disk
 // *latency* is modelled separately (disk_model.hpp) because the host's
 // NVMe-class storage would otherwise hide the effect Fig. 7 measures.
+//
+// Failed transfers raise gep::IoError carrying the errno, strerror text
+// and page number; EINTR is retried internally and never surfaces.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "extmem/block_store.hpp"
+
 namespace gep {
 
-class BlockFile {
+class BlockFile final : public BlockStore {
  public:
   // Creates an unlinked temporary file in `dir` (falls back to /tmp).
   explicit BlockFile(std::uint64_t page_bytes, const std::string& dir = "");
-  ~BlockFile();
+  ~BlockFile() override;
 
   BlockFile(const BlockFile&) = delete;
   BlockFile& operator=(const BlockFile&) = delete;
@@ -25,10 +30,10 @@ class BlockFile {
   // Thread-safe: pread/pwrite are positioned, and the transfer counters
   // are atomic (the page cache's async worker and foreground faults hit
   // the same file concurrently).
-  void read_page(std::uint64_t page, void* buf);
-  void write_page(std::uint64_t page, const void* buf);
+  void read_page(std::uint64_t page, void* buf) override;
+  void write_page(std::uint64_t page, const void* buf) override;
 
-  std::uint64_t page_bytes() const { return page_bytes_; }
+  std::uint64_t page_bytes() const override { return page_bytes_; }
   std::uint64_t pages_read() const {
     return pages_read_.load(std::memory_order_relaxed);
   }

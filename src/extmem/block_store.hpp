@@ -1,0 +1,78 @@
+// Page-addressed storage interface and the typed I/O errors the
+// out-of-core layer raises.
+//
+// BlockFile (real pread/pwrite), FaultInjector (deterministic fault
+// injection for tests) and RobustStore (CRC32C validation + bounded
+// retry with backoff) all implement BlockStore, so the PageCache can
+// stack them: PageCache -> RobustStore -> [FaultInjector ->] BlockFile.
+// See docs/ROBUSTNESS.md for the failure model.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace gep {
+
+// A failed page transfer. `transient()` marks conditions a retry may
+// cure (interrupted/advisory errors, injected transient faults, torn
+// writes); hard faults and exhausted retries surface as non-transient.
+class IoError : public std::runtime_error {
+ public:
+  enum class Op { Read, Write };
+
+  IoError(Op op, std::uint64_t page, int error_code, bool transient,
+          const std::string& what)
+      : std::runtime_error(what),
+        op_(op),
+        page_(page),
+        error_code_(error_code),
+        transient_(transient) {}
+
+  Op op() const { return op_; }
+  std::uint64_t page() const { return page_; }
+  int error_code() const { return error_code_; }
+  bool transient() const { return transient_; }
+
+ private:
+  Op op_;
+  std::uint64_t page_;
+  int error_code_;
+  bool transient_;
+};
+
+// A page whose contents failed checksum validation even after re-reads:
+// the data on the device is silently corrupt (bit rot, torn write that
+// was never repaired). Never transient — retrying cannot help.
+class CorruptPageError : public IoError {
+ public:
+  CorruptPageError(std::uint64_t page, std::uint32_t expected_crc,
+                   std::uint32_t actual_crc, const std::string& what)
+      : IoError(Op::Read, page, 0, /*transient=*/false, what),
+        expected_crc_(expected_crc),
+        actual_crc_(actual_crc) {}
+
+  std::uint32_t expected_crc() const { return expected_crc_; }
+  std::uint32_t actual_crc() const { return actual_crc_; }
+
+ private:
+  std::uint32_t expected_crc_;
+  std::uint32_t actual_crc_;
+};
+
+// Fixed-size page storage. Implementations must be thread-safe for
+// concurrent operations on DISTINCT pages (the page cache serializes
+// per-page access through its io_busy frames).
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  // Reads/writes exactly page_bytes() bytes. Throw IoError on failure;
+  // a read of a never-written page fills `buf` with zeros.
+  virtual void read_page(std::uint64_t page, void* buf) = 0;
+  virtual void write_page(std::uint64_t page, const void* buf) = 0;
+
+  virtual std::uint64_t page_bytes() const = 0;
+};
+
+}  // namespace gep

@@ -1,0 +1,171 @@
+#include "extmem/fault_injector.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace gep {
+namespace {
+
+struct InjectorObs {
+  obs::Counter read_errors = obs::counter("robust.injected.read_errors");
+  obs::Counter write_errors = obs::counter("robust.injected.write_errors");
+  obs::Counter torn_writes = obs::counter("robust.injected.torn_writes");
+  obs::Counter bitflips = obs::counter("robust.injected.bitflips");
+  obs::Counter latency = obs::counter("robust.injected.latency_spikes");
+};
+InjectorObs& injector_obs() {
+  static InjectorObs o;
+  return o;
+}
+
+[[noreturn]] void throw_injected(IoError::Op op, std::uint64_t page,
+                                 bool transient, const char* kind) {
+  std::string what = std::string("FaultInjector: injected ") + kind +
+                     " at page " + std::to_string(page) + ": " +
+                     std::strerror(EIO);
+  throw IoError(op, page, EIO, transient, what);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::unique_ptr<BlockStore> inner,
+                             FaultConfig cfg)
+    : inner_(std::move(inner)), cfg_(cfg), rng_(cfg.seed) {}
+
+bool FaultInjector::draw(double p) { return p > 0 && rng_.chance(p); }
+
+// A triggered error fails this operation and the next error_burst - 1
+// operations of the same kind on the same page — retries above consume
+// the burst, so error_burst <= retry budget is transient, larger is
+// effectively hard.
+bool FaultInjector::take_burst_failure(std::uint64_t page, bool is_write,
+                                       double p) {
+  const std::uint64_t key = (page << 1) | (is_write ? 1u : 0u);
+  auto it = burst_.find(key);
+  if (it != burst_.end()) {
+    if (--it->second <= 0) burst_.erase(it);
+    return true;
+  }
+  if (!draw(p)) return false;
+  if (cfg_.error_burst > 1) burst_[key] = cfg_.error_burst - 1;
+  return true;
+}
+
+void FaultInjector::maybe_latency_spike() {
+  if (!draw(cfg_.p_latency)) return;
+  ++stats_.latency_spikes;
+  injector_obs().latency.inc();
+  // Sleep outside mu_? The spike is milliseconds and injection is a
+  // test/bench-only path; holding mu_ keeps the fault stream strictly
+  // ordered, which the determinism tests rely on.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(cfg_.latency_spike_ms));
+}
+
+void FaultInjector::read_page(std::uint64_t page, void* buf) {
+  std::uint64_t flip_bit = ~0ULL;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.ops;
+    maybe_latency_spike();
+    if (hard_read_.count(page) != 0) {
+      ++stats_.read_errors;
+      injector_obs().read_errors.inc();
+      throw_injected(IoError::Op::Read, page, /*transient=*/false,
+                     "hard read error");
+    }
+    if (take_burst_failure(page, /*is_write=*/false, cfg_.p_read_error)) {
+      ++stats_.read_errors;
+      injector_obs().read_errors.inc();
+      throw_injected(IoError::Op::Read, page, /*transient=*/true,
+                     "read error");
+    }
+    if (draw(cfg_.p_bitflip_read)) {
+      flip_bit = rng_.below(inner_->page_bytes() * 8);
+      ++stats_.bitflips;
+      injector_obs().bitflips.inc();
+    }
+  }
+  inner_->read_page(page, buf);
+  if (flip_bit != ~0ULL) {
+    static_cast<unsigned char*>(buf)[flip_bit / 8] ^=
+        static_cast<unsigned char>(1u << (flip_bit % 8));
+  }
+}
+
+void FaultInjector::write_page(std::uint64_t page, const void* buf) {
+  bool torn = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.ops;
+    maybe_latency_spike();
+    if (hard_write_.count(page) != 0) {
+      ++stats_.write_errors;
+      injector_obs().write_errors.inc();
+      throw_injected(IoError::Op::Write, page, /*transient=*/false,
+                     "hard write error");
+    }
+    if (take_burst_failure(page, /*is_write=*/true, cfg_.p_write_error)) {
+      ++stats_.write_errors;
+      injector_obs().write_errors.inc();
+      throw_injected(IoError::Op::Write, page, /*transient=*/true,
+                     "write error");
+    }
+    if (draw(cfg_.p_torn_write)) {
+      torn = true;
+      ++stats_.torn_writes;
+      injector_obs().torn_writes.inc();
+    }
+  }
+  if (torn) {
+    // Half the page reaches the device, then the "power fails": the
+    // stored page now mixes old and new bytes. The error is transient —
+    // a retried full write repairs it — but a crash here would leave
+    // the tear for checksums to catch on the next read.
+    const std::uint64_t pb = inner_->page_bytes();
+    std::vector<char> partial(pb);
+    inner_->read_page(page, partial.data());
+    std::memcpy(partial.data(), buf, pb / 2);
+    inner_->write_page(page, partial.data());
+    throw_injected(IoError::Op::Write, page, /*transient=*/true,
+                   "torn write");
+  }
+  inner_->write_page(page, buf);
+}
+
+void FaultInjector::set_hard_fault(std::uint64_t page, bool reads,
+                                   bool writes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (reads) hard_read_.insert(page);
+  if (writes) hard_write_.insert(page);
+}
+
+void FaultInjector::clear_hard_faults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hard_read_.clear();
+  hard_write_.clear();
+}
+
+void FaultInjector::corrupt_stored_page(std::uint64_t page,
+                                        std::uint64_t bit) {
+  const std::uint64_t pb = inner_->page_bytes();
+  std::vector<char> buf(pb);
+  inner_->read_page(page, buf.data());
+  bit %= pb * 8;
+  buf[bit / 8] = static_cast<char>(
+      static_cast<unsigned char>(buf[bit / 8]) ^ (1u << (bit % 8)));
+  inner_->write_page(page, buf.data());
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gep

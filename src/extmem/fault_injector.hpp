@@ -1,0 +1,102 @@
+// Deterministic, seedable I/O fault injection behind the BlockStore
+// interface.
+//
+// Wraps an inner store and injects, with per-operation probabilities
+// drawn from a SplitMix64 stream: transient EIO on reads/writes, torn
+// (partial) writes, single-bit corruption of read buffers, and latency
+// spikes. Every failure mode the hardening layer (RobustStore,
+// PageCache) must survive is therefore reproducible in tests from a
+// fixed seed. Hard faults (a page that fails every time) and at-rest
+// corruption (a bit flipped in the stored bytes, below any checksum)
+// are settable explicitly for targeted regression tests.
+//
+// Sits UNDER RobustStore in the stack, so the checksums and retries
+// above see injected faults exactly as they would see real ones.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "extmem/block_store.hpp"
+#include "util/prng.hpp"
+
+namespace gep {
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  double p_read_error = 0.0;    // transient EIO on read_page
+  double p_write_error = 0.0;   // transient EIO on write_page
+  double p_torn_write = 0.0;    // half the page written, then EIO
+  double p_bitflip_read = 0.0;  // one bit flipped in the returned buffer
+  double p_latency = 0.0;       // latency spike (sleep) on any op
+  double latency_spike_ms = 2.0;
+
+  // Consecutive failures per triggered read/write error: a burst larger
+  // than the retry budget turns a probabilistic fault into a hard one.
+  int error_burst = 1;
+
+  // Install the injector even with all probabilities zero (tests that
+  // only use set_hard_fault / corrupt_stored_page).
+  bool install = false;
+
+  bool any() const {
+    return p_read_error > 0 || p_write_error > 0 || p_torn_write > 0 ||
+           p_bitflip_read > 0 || p_latency > 0;
+  }
+  bool enabled() const { return install || any(); }
+};
+
+struct FaultInjectorStats {
+  std::uint64_t ops = 0;  // operations seen (reads + writes)
+  std::uint64_t read_errors = 0;
+  std::uint64_t write_errors = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t bitflips = 0;
+  std::uint64_t latency_spikes = 0;
+
+  std::uint64_t injected() const {
+    return read_errors + write_errors + torn_writes + bitflips +
+           latency_spikes;
+  }
+};
+
+class FaultInjector final : public BlockStore {
+ public:
+  FaultInjector(std::unique_ptr<BlockStore> inner, FaultConfig cfg);
+
+  void read_page(std::uint64_t page, void* buf) override;
+  void write_page(std::uint64_t page, const void* buf) override;
+  std::uint64_t page_bytes() const override { return inner_->page_bytes(); }
+
+  // Marks `page` to fail with EIO on every read and/or write until
+  // clear_hard_faults(); models an unreadable sector.
+  void set_hard_fault(std::uint64_t page, bool reads, bool writes);
+  void clear_hard_faults();
+
+  // Flips one bit of the page AT REST (directly through the inner
+  // store, below any checksum layer): silent persistent corruption.
+  void corrupt_stored_page(std::uint64_t page, std::uint64_t bit);
+
+  FaultInjectorStats stats() const;
+
+ private:
+  // All mu_-held: probability draw and burst bookkeeping.
+  bool draw(double p);
+  bool take_burst_failure(std::uint64_t page, bool is_write, double p);
+  void maybe_latency_spike();
+
+  std::unique_ptr<BlockStore> inner_;
+  FaultConfig cfg_;
+  mutable std::mutex mu_;
+  SplitMix64 rng_;
+  // (page << 1 | is_write) -> remaining failures of the current burst.
+  std::unordered_map<std::uint64_t, int> burst_;
+  std::unordered_set<std::uint64_t> hard_read_, hard_write_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace gep

@@ -36,6 +36,13 @@ struct OocTypedOptions {
   // Issue prefetch hints from the recursion. Only useful with the
   // cache's async worker running; harmless (counted as dropped) without.
   bool prefetch = false;
+  // Pivot guard for ooc_igep_lu (gep/numeric_guard.hpp): every pivot is
+  // admitted before division. Throw propagates NumericBreakdownError
+  // through the invoker (WsTaskGroup rethrows from wait()); Boost floors
+  // pivots at the A-kind boxes that create them — the floored value
+  // lands in the write-pinned diagonal tile, so it persists to disk and
+  // every later reader sees it. Null = unguarded (the paper's kernel).
+  const PivotGuard* lu_guard = nullptr;
 };
 
 namespace detail {
@@ -97,7 +104,12 @@ void ooc_igep_lu(OocTiledMatrix<T>& m, Inv& inv, OocTypedOptions opts = {}) {
     auto w = m.pin_tile(k0 / bs, k0 / bs, /*for_write=*/false);
     const bool di = (kind == BoxKind::A || kind == BoxKind::B);
     const bool dj = (kind == BoxKind::A || kind == BoxKind::C);
-    kernel_lu(x.ptr, u.ptr, v.ptr, w.ptr, mm, bs, bs, bs, bs, di, dj);
+    if (opts.lu_guard != nullptr) {
+      kernel_lu_guarded(x.ptr, u.ptr, v.ptr, w.ptr, mm, bs, bs, bs, bs, di,
+                        dj, *opts.lu_guard, k0);
+    } else {
+      kernel_lu(x.ptr, u.ptr, v.ptr, w.ptr, mm, bs, bs, bs, bs, di, dj);
+    }
   };
   auto prune = [](index_t i0, index_t j0, index_t k0, index_t) {
     return i0 < k0 || j0 < k0;

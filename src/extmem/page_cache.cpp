@@ -26,6 +26,10 @@ struct PageCacheObs {
   obs::Counter prefetch_redundant = obs::counter("extmem.prefetch.redundant");
   obs::Counter prefetch_dropped = obs::counter("extmem.prefetch.dropped");
   obs::Gauge queue_depth = obs::gauge("extmem.prefetch.queue_depth");
+  obs::Counter writeback_failures =
+      obs::counter("robust.writeback_failures");
+  obs::Counter prefetch_errors = obs::counter("robust.prefetch_errors");
+  obs::Counter async_degraded = obs::counter("robust.async_degraded");
 };
 PageCacheObs& page_cache_obs() {
   static PageCacheObs o;
@@ -47,10 +51,11 @@ void realize_latency(const DiskModel& model, double sim_seconds) {
 }  // namespace
 
 PageCache::PageCache(std::uint64_t capacity_bytes, std::uint64_t page_bytes,
-                     DiskModel model)
+                     DiskModel model, RobustOptions robust)
     : page_bytes_(page_bytes),
       frame_count_(capacity_bytes / page_bytes),
-      model_(model) {
+      model_(model),
+      robust_(robust) {
   assert(page_bytes_ > 0);
   if (frame_count_ == 0) frame_count_ = 1;
   pool_ = make_aligned<char>(frame_count_ * page_bytes_);
@@ -65,14 +70,46 @@ PageCache::PageCache(std::uint64_t capacity_bytes, std::uint64_t page_bytes,
 
 PageCache::~PageCache() {
   disable_async_io();
-  flush();
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw. The failure was already counted
+    // (writeback_failures_); data in still-dirty frames is lost with
+    // the anonymous backing file, exactly as on process death.
+  }
 }
 
 int PageCache::register_file(std::uint64_t pages) {
   std::lock_guard<std::mutex> lock(mu_);
-  files_.push_back(std::make_unique<BlockFile>(page_bytes_));
+  const int id = static_cast<int>(files_.size());
+  std::unique_ptr<BlockStore> store =
+      std::make_unique<BlockFile>(page_bytes_);
+  FaultInjector* inj = nullptr;
+  if (robust_.faults.enabled()) {
+    FaultConfig cfg = robust_.faults;
+    // Distinct per-file streams, deterministic in registration order.
+    cfg.seed = cfg.seed * 0x9E3779B97F4A7C15ULL + static_cast<unsigned>(id);
+    auto fi = std::make_unique<FaultInjector>(std::move(store), cfg);
+    inj = fi.get();
+    store = std::move(fi);
+  }
+  auto rs = std::make_unique<RobustStore>(
+      std::move(store), robust_.retry, robust_.checksums,
+      /*backoff_seed=*/0x9E3779B9ULL + static_cast<unsigned>(id));
+  robust_views_.push_back(rs.get());
+  injector_views_.push_back(inj);
+  files_.push_back(std::move(rs));
   bounds_.push_back(pages < kMaxPages ? pages : kMaxPages);
-  return static_cast<int>(files_.size()) - 1;
+  return id;
+}
+
+FaultInjector* PageCache::fault_injector(int file_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_id < 0 ||
+      static_cast<std::size_t>(file_id) >= injector_views_.size()) {
+    return nullptr;
+  }
+  return injector_views_[static_cast<std::size_t>(file_id)];
 }
 
 void PageCache::check_key(int file_id, std::uint64_t page) const {
@@ -209,21 +246,61 @@ std::size_t PageCache::resident_frame(std::unique_lock<std::mutex>& lock,
   // wanting the old page waits, then re-faults against the fresh file
   // contents.
   table_[key] = frame;
-  BlockFile* old_file =
+  BlockStore* old_file =
       old_valid && old_dirty
           ? files_[static_cast<std::size_t>(key_file(old_key))].get()
           : nullptr;
-  BlockFile* new_file = files_[static_cast<std::size_t>(file_id)].get();
+  BlockStore* new_file = files_[static_cast<std::size_t>(file_id)].get();
   char* buf = pool_.get() + frame * page_bytes_;
   lock.unlock();
   double wait = 0;
   if (old_file != nullptr) {
-    old_file->write_page(key_page(old_key), buf);
+    try {
+      old_file->write_page(key_page(old_key), buf);
+    } catch (...) {
+      // Write-back of the victim failed: the frame still holds the old
+      // page's bytes untouched, so keep the old mapping, keep it dirty,
+      // and only withdraw the new mapping. Nothing is lost; the next
+      // eviction attempt retries the write-back.
+      lock.lock();
+      table_.erase(key);
+      fr.io_busy = false;
+      --io_in_flight_;
+      writeback_failures_.fetch_add(1, std::memory_order_relaxed);
+      page_cache_obs().writeback_failures.inc();
+      io_cv_.notify_all();
+      throw;
+    }
     st.page_outs.fetch_add(1, std::memory_order_relaxed);
     page_cache_obs().writebacks.inc();
     wait += model_.io_seconds(page_bytes_);
   }
-  new_file->read_page(page, buf);
+  try {
+    new_file->read_page(page, buf);
+  } catch (...) {
+    // Fault-in failed: the buffer may hold a torn read, so the frame is
+    // unusable for either page. The old page (if any) was written back
+    // above, so dropping both mappings loses nothing; the frame goes to
+    // the LRU tail as the next victim.
+    add_double(st.io_wait, wait);
+    if (is_prefetch && wait > 0) add_double(st.io_wait_async, wait);
+    lock.lock();
+    table_.erase(key);
+    if (old_valid) {
+      table_.erase(old_key);
+      st.evictions.fetch_add(1, std::memory_order_relaxed);
+      page_cache_obs().evictions.inc();
+    }
+    epoch_.fetch_add(1, std::memory_order_release);
+    fr.valid = false;
+    fr.dirty = false;
+    fr.prefetched = false;
+    fr.io_busy = false;
+    --io_in_flight_;
+    lru_.splice(lru_.end(), lru_, lru_pos_[frame]);
+    io_cv_.notify_all();
+    throw;
+  }
   st.page_ins.fetch_add(1, std::memory_order_relaxed);
   wait += model_.io_seconds(page_bytes_);
   add_double(st.io_wait, wait);
@@ -280,7 +357,7 @@ void PageCache::prefetch(int file_id, std::uint64_t page) {
   StatShard& st = stat_cell();
   st.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
   page_cache_obs().prefetch_issued.inc();
-  if (!worker_running_) {
+  if (!worker_running_ || degraded_.load(std::memory_order_acquire)) {
     st.prefetch_dropped.fetch_add(1, std::memory_order_relaxed);
     page_cache_obs().prefetch_dropped.inc();
     return;
@@ -300,6 +377,15 @@ void PageCache::prefetch(int file_id, std::uint64_t page) {
   work_cv_.notify_one();
 }
 
+void PageCache::note_worker_failure() {
+  ++worker_failures_;
+  if (worker_failures_ >= kWorkerDegradeThreshold &&
+      !degraded_.load(std::memory_order_relaxed)) {
+    degraded_.store(true, std::memory_order_release);
+    page_cache_obs().async_degraded.inc();
+  }
+}
+
 void PageCache::io_worker_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!worker_stop_) {
@@ -308,8 +394,29 @@ void PageCache::io_worker_loop() {
       prefetch_q_.pop_front();
       page_cache_obs().queue_depth.set(
           static_cast<double>(prefetch_q_.size()));
-      resident_frame(lock, req.file_id, req.page, /*for_write=*/false,
-                     /*is_prefetch=*/true);
+      if (degraded_.load(std::memory_order_acquire)) {
+        // Degraded: drain the queue without touching the disk; the
+        // foreground path does its own (retried, checksummed) I/O.
+        StatShard& st = stat_cell();
+        st.prefetch_dropped.fetch_add(1, std::memory_order_relaxed);
+        page_cache_obs().prefetch_dropped.inc();
+        continue;
+      }
+      try {
+        resident_frame(lock, req.file_id, req.page, /*for_write=*/false,
+                       /*is_prefetch=*/true);
+        worker_failures_ = 0;
+      } catch (...) {
+        // A prefetch is only a hint: absorb the error (the foreground
+        // pin will retry and surface it if it persists). resident_frame
+        // already restored the frame invariants and reacquired mu_.
+        prefetch_errors_.fetch_add(1, std::memory_order_relaxed);
+        page_cache_obs().prefetch_errors.inc();
+        StatShard& st = stat_cell();
+        st.prefetch_dropped.fetch_add(1, std::memory_order_relaxed);
+        page_cache_obs().prefetch_dropped.inc();
+        note_worker_failure();
+      }
       continue;
     }
     // Idle: flush one about-to-be-evicted dirty frame so the next fault
@@ -319,11 +426,29 @@ void PageCache::io_worker_loop() {
       Frame& fr = frames_[f];
       fr.io_busy = true;
       ++io_in_flight_;
-      BlockFile* file = files_[static_cast<std::size_t>(key_file(fr.key))].get();
+      BlockStore* file =
+          files_[static_cast<std::size_t>(key_file(fr.key))].get();
       const std::uint64_t page = key_page(fr.key);
       char* buf = pool_.get() + f * page_bytes_;
       lock.unlock();
-      file->write_page(page, buf);
+      bool wrote = true;
+      try {
+        file->write_page(page, buf);
+      } catch (...) {
+        wrote = false;
+      }
+      if (!wrote) {
+        // The frame stays dirty; a later eviction or flush() retries the
+        // write-back on the foreground path and reports it there.
+        lock.lock();
+        fr.io_busy = false;
+        --io_in_flight_;
+        writeback_failures_.fetch_add(1, std::memory_order_relaxed);
+        page_cache_obs().writeback_failures.inc();
+        note_worker_failure();
+        io_cv_.notify_all();
+        continue;
+      }
       const double wait = model_.io_seconds(page_bytes_);
       StatShard& st = stat_cell();
       st.page_outs.fetch_add(1, std::memory_order_relaxed);
@@ -334,6 +459,7 @@ void PageCache::io_worker_loop() {
       add_double(st.io_wait_async, wait);
       realize_latency(model_, wait);
       lock.lock();
+      worker_failures_ = 0;
       fr.dirty = false;
       fr.io_busy = false;
       --io_in_flight_;
@@ -349,6 +475,8 @@ void PageCache::enable_async_io() {
   if (worker_running_) return;
   worker_running_ = true;
   worker_stop_ = false;
+  worker_failures_ = 0;
+  degraded_.store(false, std::memory_order_release);
   io_worker_ = std::thread([this] { io_worker_loop(); });
 }
 
@@ -383,8 +511,16 @@ void PageCache::flush() {
     while (frames_[f].io_busy) io_cv_.wait(lock);
     Frame& fr = frames_[f];
     if (fr.valid && fr.dirty) {
-      files_[static_cast<std::size_t>(key_file(fr.key))]->write_page(
-          key_page(fr.key), pool_.get() + f * page_bytes_);
+      try {
+        files_[static_cast<std::size_t>(key_file(fr.key))]->write_page(
+            key_page(fr.key), pool_.get() + f * page_bytes_);
+      } catch (...) {
+        // The frame stays dirty (data preserved); the caller decides
+        // whether to retry flush() or abandon the file.
+        writeback_failures_.fetch_add(1, std::memory_order_relaxed);
+        page_cache_obs().writeback_failures.inc();
+        throw;
+      }
       st.page_outs.fetch_add(1, std::memory_order_relaxed);
       page_cache_obs().writebacks.inc();
       add_double(st.io_wait, model_.io_seconds(page_bytes_));
@@ -412,6 +548,18 @@ PageCacheStats PageCache::stats() const {
     s.io_wait_seconds += c.io_wait.load(std::memory_order_relaxed);
     s.io_wait_async_seconds += c.io_wait_async.load(std::memory_order_relaxed);
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const RobustStore* rs : robust_views_) {
+      const RobustStoreStats r = rs->stats();
+      s.io_retries += r.retries;
+      s.crc_failures += r.crc_failures;
+      s.io_hard_failures += r.hard_failures;
+    }
+  }
+  s.writeback_failures = writeback_failures_.load(std::memory_order_relaxed);
+  s.prefetch_errors = prefetch_errors_.load(std::memory_order_relaxed);
+  s.async_degraded = degraded_.load(std::memory_order_acquire) ? 1 : 0;
   return s;
 }
 
@@ -431,6 +579,12 @@ void PageCache::reset_stats() {
     c.io_wait.store(0.0, std::memory_order_relaxed);
     c.io_wait_async.store(0.0, std::memory_order_relaxed);
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (RobustStore* rs : robust_views_) rs->reset_stats();
+  }
+  writeback_failures_.store(0, std::memory_order_relaxed);
+  prefetch_errors_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace gep

@@ -18,6 +18,14 @@
 //  - An optional async I/O worker (enable_async_io) services a prefetch
 //    queue and opportunistically writes back dirty LRU-tail frames, both
 //    charged to the DiskModel as overlapped (async) I/O wait.
+//
+// Fault tolerance (docs/ROBUSTNESS.md): every backing file is wrapped
+// in a RobustStore (CRC32C page checksums + bounded retry with backoff)
+// and, when RobustOptions::faults is enabled, a FaultInjector below it.
+// Failed transfers surface as typed IoError/CorruptPageError with the
+// cache's frame metadata left consistent (no leaked io_busy frames, no
+// lost dirty pages); the async worker degrades to synchronous I/O after
+// repeated failures instead of wedging the prefetch queue.
 #pragma once
 
 #include <atomic>
@@ -33,9 +41,19 @@
 
 #include "extmem/block_file.hpp"
 #include "extmem/disk_model.hpp"
+#include "extmem/fault_injector.hpp"
+#include "extmem/robust_store.hpp"
 #include "util/aligned.hpp"
 
 namespace gep {
+
+// Fault-tolerance knobs for a PageCache (defaults are the production
+// posture: checksums + retry on, no injection).
+struct RobustOptions {
+  bool checksums = true;  // CRC32C validated on every page-in
+  RetryPolicy retry{};
+  FaultConfig faults{};  // faults.enabled() inserts a FaultInjector
+};
 
 struct PageCacheStats {
   std::uint64_t pins = 0;
@@ -49,6 +67,14 @@ struct PageCacheStats {
   std::uint64_t prefetch_hits = 0;       // pins served by a prefetched page
   std::uint64_t prefetch_dropped = 0;    // queue full / worker not running
   std::uint64_t writebacks_async = 0;    // background (overlapped) flushes
+  // Fault-tolerance counters (aggregated from the per-file RobustStores
+  // plus the cache's own recovery paths; mirrored as obs robust.*).
+  std::uint64_t io_retries = 0;          // transparently retried transfers
+  std::uint64_t crc_failures = 0;        // checksum mismatches seen
+  std::uint64_t io_hard_failures = 0;    // ops that exhausted retries
+  std::uint64_t writeback_failures = 0;  // evict/flush/write-behind throws
+  std::uint64_t prefetch_errors = 0;     // async faults the worker absorbed
+  std::uint64_t async_degraded = 0;      // 1 once the worker gave up
   double io_wait_seconds = 0;        // simulated (DiskModel), all transfers
   double io_wait_async_seconds = 0;  // portion done off the critical path
 
@@ -75,7 +101,7 @@ class PageCache {
 
   // capacity_bytes = M, page_bytes = B. Needs at least one frame.
   PageCache(std::uint64_t capacity_bytes, std::uint64_t page_bytes,
-            DiskModel model = {});
+            DiskModel model = {}, RobustOptions robust = {});
   ~PageCache();
 
   PageCache(const PageCache&) = delete;
@@ -156,6 +182,19 @@ class PageCache {
   void disable_async_io();
   bool async_io_enabled() const;
 
+  // True once the worker has hit kWorkerDegradeThreshold consecutive
+  // I/O failures and fallen back to synchronous-only operation (every
+  // later prefetch is counted dropped). enable_async_io() after a
+  // disable_async_io() clears the flag.
+  bool async_degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
+
+  // The file's fault injector, or nullptr when robust.faults was not
+  // enabled at construction. Test hook for hard faults / at-rest
+  // corruption; valid for the cache's lifetime.
+  FaultInjector* fault_injector(int file_id) const;
+
   // Current depth of the prefetch queue (diagnostics).
   std::size_t prefetch_queue_depth() const;
 
@@ -178,6 +217,8 @@ class PageCache {
   static constexpr int kStatShards = 16;
   static constexpr std::size_t kNoFrame = ~std::size_t{0};
   static constexpr std::size_t kMaxPrefetchQueue = 1024;
+  // Consecutive async-worker I/O failures before it degrades.
+  static constexpr int kWorkerDegradeThreshold = 8;
 
   struct Frame {
     std::uint64_t key = 0;         // (file_id << 40) | page
@@ -224,6 +265,7 @@ class PageCache {
   std::size_t write_behind_candidate() const;
 
   void io_worker_loop();
+  void note_worker_failure();  // mu_ held; may set degraded_
   void touch_lru(std::size_t frame);
   StatShard& stat_cell();
   static void add_double(std::atomic<double>& a, double d);
@@ -231,6 +273,7 @@ class PageCache {
   std::uint64_t page_bytes_;
   std::uint64_t frame_count_;
   DiskModel model_;
+  RobustOptions robust_;
   AlignedPtr<char> pool_;                  // frame_count_ x page_bytes_
   std::unique_ptr<Frame[]> frames_;
 
@@ -240,13 +283,21 @@ class PageCache {
   std::list<std::size_t> lru_;       // front = MRU, holds frame ids
   std::vector<std::list<std::size_t>::iterator> lru_pos_;
   std::unordered_map<std::uint64_t, std::size_t> table_;  // key -> frame
-  std::vector<std::unique_ptr<BlockFile>> files_;
+  // Per-file store stack (owned top-down): RobustStore ->
+  // [FaultInjector ->] BlockFile. The view vectors alias into the stack.
+  std::vector<std::unique_ptr<BlockStore>> files_;
+  std::vector<RobustStore*> robust_views_;
+  std::vector<FaultInjector*> injector_views_;
   std::vector<std::uint64_t> bounds_;  // per-file page-count bound
   std::deque<PrefetchRequest> prefetch_q_;
   int io_in_flight_ = 0;        // frames with io_busy set
   bool worker_running_ = false;
   bool worker_stop_ = false;
+  int worker_failures_ = 0;     // consecutive; reset on success
 
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::uint64_t> writeback_failures_{0};
+  std::atomic<std::uint64_t> prefetch_errors_{0};
   std::atomic<int> evict_waiters_{0};
   std::atomic<std::uint64_t> epoch_{0};
   StatShard stat_shards_[kStatShards];

@@ -1,0 +1,154 @@
+#include "extmem/robust_store.hpp"
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "obs/registry.hpp"
+#include "util/crc32c.hpp"
+
+namespace gep {
+namespace {
+
+struct RobustObs {
+  obs::Counter retries = obs::counter("robust.retries");
+  obs::Counter crc_failures = obs::counter("robust.crc_failures");
+  obs::Counter crc_recoveries = obs::counter("robust.crc_recoveries");
+  obs::Counter hard_failures = obs::counter("robust.io_hard_failures");
+};
+RobustObs& robust_obs() {
+  static RobustObs o;
+  return o;
+}
+
+}  // namespace
+
+RobustStore::RobustStore(std::unique_ptr<BlockStore> inner,
+                         RetryPolicy retry, bool checksums,
+                         std::uint64_t backoff_seed)
+    : inner_(std::move(inner)),
+      retry_(retry),
+      checksums_(checksums),
+      rng_(backoff_seed) {
+  if (retry_.max_attempts < 1) retry_.max_attempts = 1;
+}
+
+void RobustStore::backoff(int attempt) {
+  if (retry_.backoff_us <= 0) return;
+  double us = retry_.backoff_us;
+  for (int i = 1; i < attempt; ++i) us *= retry_.multiplier;
+  if (retry_.jitter > 0) {
+    double scale;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      scale = rng_.uniform(1.0 - retry_.jitter, 1.0 + retry_.jitter);
+    }
+    us *= scale;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
+
+void RobustStore::read_page(std::uint64_t page, void* buf) {
+  std::optional<std::uint32_t> want;
+  if (checksums_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = crc_.find(page);
+    if (it != crc_.end()) want = it->second;
+  }
+  bool had_mismatch = false;
+  std::uint32_t got = 0;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      inner_->read_page(page, buf);
+      if (!want.has_value()) return;  // never written: nothing to check
+      got = crc32c(buf, inner_->page_bytes());
+      if (got == *want) {
+        if (had_mismatch) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.crc_recoveries;
+          robust_obs().crc_recoveries.inc();
+        }
+        return;
+      }
+      // Mismatch: count it and treat like a transient fault — a re-read
+      // cures corruption that happened in flight (bus/DMA/bit flip on
+      // the wire); corruption at rest keeps failing and falls through.
+      had_mismatch = true;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.crc_failures;
+        robust_obs().crc_failures.inc();
+      }
+      if (attempt >= retry_.max_attempts) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hard_failures;
+        robust_obs().hard_failures.inc();
+        throw CorruptPageError(
+            page, *want, got,
+            "RobustStore: page " + std::to_string(page) +
+                " failed CRC32C validation after " +
+                std::to_string(attempt) + " read(s): expected " +
+                std::to_string(*want) + ", got " + std::to_string(got));
+      }
+    } catch (const CorruptPageError&) {
+      throw;
+    } catch (const IoError& e) {
+      if (!e.transient() || attempt >= retry_.max_attempts) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hard_failures;
+        robust_obs().hard_failures.inc();
+        throw;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+      robust_obs().retries.inc();
+    }
+    backoff(attempt);
+  }
+}
+
+void RobustStore::write_page(std::uint64_t page, const void* buf) {
+  const std::uint32_t sum =
+      checksums_ ? crc32c(buf, inner_->page_bytes()) : 0;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      inner_->write_page(page, buf);
+      if (checksums_) {
+        // Stored only after the full write succeeded: a torn write that
+        // is never repaired leaves the OLD checksum in place, so the
+        // next read flags the mixed-content page as corrupt.
+        std::lock_guard<std::mutex> lock(mu_);
+        crc_[page] = sum;
+      }
+      return;
+    } catch (const IoError& e) {
+      if (!e.transient() || attempt >= retry_.max_attempts) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hard_failures;
+        robust_obs().hard_failures.inc();
+        throw;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+      robust_obs().retries.inc();
+    }
+    backoff(attempt);
+  }
+}
+
+RobustStoreStats RobustStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void RobustStore::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = {};
+}
+
+}  // namespace gep

@@ -1,0 +1,68 @@
+// Hardened BlockStore wrapper: per-page CRC32C checksums and bounded
+// retry with exponential backoff + jitter.
+//
+// Checksums live in an in-memory sidecar map (page -> CRC32C of the
+// last successful write). The backing files are unlinked temporaries
+// that never outlive the process, so the sidecar's lifetime matches the
+// data's; a persistent store would serialize the same map as a page
+// trailer (see docs/ROBUSTNESS.md). Every read of a previously written
+// page is validated; a mismatch triggers a re-read (curing in-flight
+// corruption) and, if the mismatch persists, a CorruptPageError — the
+// at-rest corruption case retrying cannot fix. Pages never written have
+// no checksum and are accepted as-is (they read back as zeros).
+//
+// Transient IoErrors from the inner store are retried up to
+// RetryPolicy::max_attempts with exponentially growing, jittered
+// backoff; non-transient errors and exhausted budgets propagate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "extmem/block_store.hpp"
+#include "util/prng.hpp"
+
+namespace gep {
+
+struct RetryPolicy {
+  int max_attempts = 4;      // total tries per operation (1 = no retry)
+  double backoff_us = 50.0;  // delay before the first retry
+  double multiplier = 2.0;   // growth per subsequent retry
+  double jitter = 0.5;       // each delay scaled by U[1 - j, 1 + j]
+};
+
+struct RobustStoreStats {
+  std::uint64_t retries = 0;         // extra attempts after a failure
+  std::uint64_t crc_failures = 0;    // checksum mismatches observed
+  std::uint64_t crc_recoveries = 0;  // mismatches cured by a re-read
+  std::uint64_t hard_failures = 0;   // ops that exhausted the budget
+};
+
+class RobustStore final : public BlockStore {
+ public:
+  RobustStore(std::unique_ptr<BlockStore> inner, RetryPolicy retry,
+              bool checksums, std::uint64_t backoff_seed = 0x9E3779B9ULL);
+
+  void read_page(std::uint64_t page, void* buf) override;
+  void write_page(std::uint64_t page, const void* buf) override;
+  std::uint64_t page_bytes() const override { return inner_->page_bytes(); }
+
+  RobustStoreStats stats() const;
+  void reset_stats();
+
+ private:
+  void backoff(int attempt);  // sleeps; attempt is 1-based
+
+  std::unique_ptr<BlockStore> inner_;
+  RetryPolicy retry_;
+  bool checksums_;
+
+  mutable std::mutex mu_;  // sidecar map + stats + backoff rng
+  std::unordered_map<std::uint64_t, std::uint32_t> crc_;
+  SplitMix64 rng_;
+  RobustStoreStats stats_;
+};
+
+}  // namespace gep

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 
+#include "gep/numeric_guard.hpp"
 #include "matrix/matrix.hpp"
 
 namespace gep {
@@ -79,6 +80,42 @@ void kernel_lu(T* x, const T* u, const T* v, const T* w, index_t m,
       T uik;
       if (diag_j) {
         xi[k] /= wkk;  // <i,k,k>: store multiplier (x aliases u here)
+        uik = xi[k];
+      } else {
+        uik = u[i * su + k];
+      }
+      for (index_t j = jlo; j < m; ++j) xi[j] -= uik * vk[j];
+    }
+  }
+}
+
+// kernel_lu with a pivot guard: every pivot consulted while J == K runs
+// through PivotGuard::admit before the division. Boosting is only legal
+// where the pivot is being CREATED — the A-kind diagonal boxes
+// (diag_i && diag_j), where w aliases the write-pinned x tile, so the
+// floored value persists and every later reader (B/C/D boxes) sees it.
+// k_base is the box's global elimination offset (error messages and
+// reports index pivots in matrix coordinates). w is non-const because
+// Boost rewrites the slot; Throw/Report never write through it.
+template <class T>
+void kernel_lu_guarded(T* x, const T* u, const T* v, T* w, index_t m,
+                       index_t sx, index_t su, index_t sv, index_t sw,
+                       bool diag_i, bool diag_j, const PivotGuard& guard,
+                       index_t k_base) {
+  for (index_t k = 0; k < m; ++k) {
+    T wkk = w[k * sw + k];
+    if (diag_j) {
+      wkk = guard.admit(&w[k * sw + k], k_base + k,
+                        /*boostable=*/diag_i && diag_j);
+    }
+    const T* vk = v + k * sv;
+    const index_t ilo = diag_i ? k + 1 : 0;
+    const index_t jlo = diag_j ? k + 1 : 0;
+    for (index_t i = ilo; i < m; ++i) {
+      T* xi = x + i * sx;
+      T uik;
+      if (diag_j) {
+        xi[k] /= wkk;
         uik = xi[k];
       } else {
         uik = u[i * su + k];

@@ -1,0 +1,266 @@
+// Numeric breakdown guards for the no-pivot GEP kernels.
+//
+// The paper's Gaussian elimination / LU instances never pivot: the
+// caller promises nonsingular leading principal minors (diagonally
+// dominant, SPD, ...). When that promise is broken the factorization
+// silently divides by a tiny or zero pivot and floods the factors with
+// inf/nan. This header makes the failure mode explicit and configurable:
+//
+//   - PivotGuard: a runtime check the LU kernels consult at each pivot.
+//     |w_kk| <= tiny (or non-finite) is a BREAKDOWN, handled per
+//     BreakdownPolicy: Throw (typed NumericBreakdownError), Boost
+//     (replace the pivot with a sign-preserving floor where the kernel
+//     owns the slot — the A-kind diagonal boxes that create pivots),
+//     or Report (count and continue, caller inspects the report).
+//   - Growth-factor monitoring: max|LU| / max|A| — the classic
+//     no-pivot instability signal (Wilkinson); non-finite factors are
+//     the overflow end of the same spectrum.
+//   - Randomized residual checks: Freivalds' +-1-vector test for
+//     matmul (apps.hpp) and row-sampled ||A - LU|| for factorizations
+//     (lu_residual_sample below) — O(n^2)-per-iteration certificates
+//     that the O(n^3) result is right.
+//
+// All events are mirrored into the obs registry under robust.*
+// (breakdowns, pivot_boosts, residual_checks, residual_failures) so
+// they land in BENCH JSON next to the I/O fault counters.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "matrix/matrix.hpp"
+#include "obs/registry.hpp"
+#include "util/prng.hpp"
+
+namespace gep {
+
+enum class BreakdownPolicy {
+  Throw,   // raise NumericBreakdownError at the offending pivot
+  Boost,   // floor the pivot (in-core: shift the diagonal and retry)
+  Report,  // count it and continue; the caller reads the report
+};
+
+class NumericBreakdownError : public std::runtime_error {
+ public:
+  NumericBreakdownError(index_t k, double pivot, const std::string& what)
+      : std::runtime_error(what), k_(k), pivot_(pivot) {}
+
+  index_t pivot_index() const { return k_; }
+  double pivot_value() const { return pivot_; }
+
+ private:
+  index_t k_;
+  double pivot_;
+};
+
+namespace detail_guard {
+
+struct NumericObs {
+  obs::Counter breakdowns = obs::counter("robust.breakdowns");
+  obs::Counter boosts = obs::counter("robust.pivot_boosts");
+  obs::Counter residual_checks = obs::counter("robust.residual_checks");
+  obs::Counter residual_failures = obs::counter("robust.residual_failures");
+};
+inline NumericObs& numeric_obs() {
+  static NumericObs o;
+  return o;
+}
+
+// Uniform element read across the matrix flavors: Matrix<T> exposes
+// operator(), the out-of-core wrappers expose get().
+template <class M>
+double at(const M& m, index_t i, index_t j) {
+  if constexpr (requires { m.get(i, j); }) {
+    return static_cast<double>(m.get(i, j));
+  } else {
+    return static_cast<double>(m(i, j));
+  }
+}
+
+}  // namespace detail_guard
+
+// |A|_max over a square matrix (any flavor). The scale every threshold
+// below is relative to.
+template <class M>
+double guard_max_abs(const M& m) {
+  double amax = 0;
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (index_t j = 0; j < m.cols(); ++j) {
+      const double v = std::abs(detail_guard::at(m, i, j));
+      if (v > amax) amax = v;
+    }
+  }
+  return amax;
+}
+
+// Default breakdown threshold: n * eps * |A|_max (the backward-error
+// scale at which a pivot is numerically indistinguishable from zero).
+// Positive even for the all-zero matrix, so a zero pivot always trips.
+inline double default_tiny_pivot(index_t n, double amax) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double t = static_cast<double>(n) * eps * amax;
+  return t > 0 ? t : eps;
+}
+
+// Configuration for the guarded factorization / solve entry points.
+struct BreakdownGuard {
+  BreakdownPolicy policy = BreakdownPolicy::Throw;
+  double tiny_pivot = 0.0;    // absolute threshold; 0 = default_tiny_pivot
+  double boost_scale = 1e-8;  // Boost: diagonal shift = scale * max(|A|,1)
+  int max_boost_rounds = 3;   // Boost retries before giving up (in-core)
+  int residual_samples = 0;   // rows sampled for ||A - LU|| (0 = off)
+  double residual_limit = 1e-6;  // relative residual that counts as failure
+
+  double threshold(index_t n, double amax) const {
+    return tiny_pivot > 0 ? tiny_pivot : default_tiny_pivot(n, amax);
+  }
+};
+
+// What a guarded run observed. `ok()` is the headline: no unresolved
+// breakdowns and every residual check passed.
+struct NumericReport {
+  std::uint64_t breakdowns = 0;  // tiny/non-finite pivots encountered
+  std::uint64_t boosts = 0;      // pivots floored / retry rounds shifted
+  double diagonal_shift = 0;     // Boost: mu such that A + mu*I was solved
+  double growth_factor = 0;      // max|LU| / max|A| (inf on overflow)
+  std::uint64_t residual_checks = 0;
+  std::uint64_t residual_failures = 0;
+  double residual_max = 0;  // worst relative residual sampled
+
+  bool ok() const {
+    return residual_failures == 0 && (breakdowns == 0 || boosts > 0);
+  }
+};
+
+// Runtime pivot check shared by concurrent LU leaves. Thresholds are
+// immutable; the counters are atomics so the parallel typed engine can
+// consult one guard from every worker.
+class PivotGuard {
+ public:
+  PivotGuard(BreakdownPolicy policy, double tiny, double boost_value)
+      : policy_(policy), tiny_(tiny), boost_(boost_value) {}
+
+  BreakdownPolicy policy() const { return policy_; }
+  double tiny() const { return tiny_; }
+
+  // Admits the pivot in *slot for elimination step k (global index).
+  // Returns the value to divide by — the original, or the boosted floor
+  // when policy is Boost and `boostable` (the kernel owns the slot: the
+  // A-kind diagonal boxes, where w aliases the write-pinned x tile and
+  // the pivot is being CREATED rather than re-read). Non-boostable
+  // breakdowns under Boost are only counted: the A-kind box that created
+  // the pivot already handled it, so a tiny pivot seen from a C-kind box
+  // means the caller disabled boosting upstream.
+  template <class T>
+  T admit(T* slot, index_t k, bool boostable) const {
+    const double p = static_cast<double>(*slot);
+    if (std::isfinite(p) && std::abs(p) > tiny_) return *slot;
+    breakdowns_.fetch_add(1, std::memory_order_relaxed);
+    detail_guard::numeric_obs().breakdowns.inc();
+    if (policy_ == BreakdownPolicy::Throw) {
+      throw NumericBreakdownError(
+          k, p,
+          "numeric breakdown: pivot " + std::to_string(k) + " is " +
+              std::to_string(p) + " (|.| <= " + std::to_string(tiny_) +
+              "); the no-pivot GEP precondition does not hold");
+    }
+    if (policy_ == BreakdownPolicy::Boost && boostable) {
+      const T b = static_cast<T>(p < 0 ? -boost_ : boost_);
+      *slot = b;
+      boosts_.fetch_add(1, std::memory_order_relaxed);
+      detail_guard::numeric_obs().boosts.inc();
+      return b;
+    }
+    return *slot;
+  }
+
+  std::uint64_t breakdowns() const {
+    return breakdowns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t boosts() const {
+    return boosts_.load(std::memory_order_relaxed);
+  }
+  void reset_counts() {
+    breakdowns_.store(0, std::memory_order_relaxed);
+    boosts_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  BreakdownPolicy policy_;
+  double tiny_;
+  double boost_;
+  mutable std::atomic<std::uint64_t> breakdowns_{0};
+  mutable std::atomic<std::uint64_t> boosts_{0};
+};
+
+// Post-hoc factor scan (the in-core path guards this way: factor, then
+// validate — cheaper than a branch in the innermost loop). Returns the
+// index of the first pivot that is tiny or non-finite, or -1.
+template <class M>
+index_t scan_lu_pivots(const M& lu, double tiny, double* worst = nullptr) {
+  index_t bad = -1;
+  double w = std::numeric_limits<double>::infinity();
+  const index_t n = lu.rows();
+  for (index_t k = 0; k < n; ++k) {
+    const double p = detail_guard::at(lu, k, k);
+    if (!std::isfinite(p) || std::abs(p) <= tiny) {
+      if (bad < 0) bad = k;
+      if (std::abs(p) < w) w = std::abs(p);
+    }
+  }
+  if (worst != nullptr) *worst = bad < 0 ? 0.0 : w;
+  return bad;
+}
+
+// True when every entry of the packed factor is finite (no overflow
+// escaped the pivot checks).
+template <class M>
+bool lu_factors_finite(const M& lu) {
+  for (index_t i = 0; i < lu.rows(); ++i) {
+    for (index_t j = 0; j < lu.cols(); ++j) {
+      if (!std::isfinite(detail_guard::at(lu, i, j))) return false;
+    }
+  }
+  return true;
+}
+
+// Row-sampled relative residual of a packed no-pivot factorization:
+// max over `samples` rows i of |(L U)(i,:) - A(i,:)|_inf / |A|_max.
+// L is unit-diagonal below the diagonal of `lu`, U on and above. O(n^2)
+// per sampled row; counts into robust.residual_checks/failures when the
+// caller compares against a limit (see linear_solver).
+template <class MA, class MLU>
+double lu_residual_sample(const MA& a, const MLU& lu, int samples,
+                          std::uint64_t seed = 1) {
+  const index_t n = a.rows();
+  if (n == 0 || samples <= 0) return 0.0;
+  const double amax = guard_max_abs(a);
+  const double scale = amax > 0 ? amax : 1.0;
+  SplitMix64 rng(seed);
+  double worst = 0;
+  for (int s = 0; s < samples; ++s) {
+    const index_t i = static_cast<index_t>(
+        rng.below(static_cast<std::uint64_t>(n)));
+    for (index_t j = 0; j < n; ++j) {
+      // (L U)(i, j) = sum_{k <= min(i, j)} L(i,k) U(k,j), L(i,i) = 1.
+      const index_t kmax = i < j ? i : j;
+      double acc = 0;
+      for (index_t k = 0; k < kmax; ++k) {
+        acc += detail_guard::at(lu, i, k) * detail_guard::at(lu, k, j);
+      }
+      // k = kmax term: L(i,i) = 1 when i <= j, else U(j,j) closes it.
+      acc += (i <= j) ? detail_guard::at(lu, kmax, j)
+                      : detail_guard::at(lu, i, kmax) *
+                            detail_guard::at(lu, kmax, j);
+      const double r = std::abs(acc - detail_guard::at(a, i, j)) / scale;
+      if (r > worst) worst = r;
+    }
+  }
+  return worst;
+}
+
+}  // namespace gep

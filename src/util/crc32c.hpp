@@ -1,0 +1,102 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) for page
+// checksums in the out-of-core layer.
+//
+// Uses the SSE4.2 crc32 instruction when the build targets it
+// (-march=native on any x86-64 of the last decade); otherwise a
+// slice-by-8 table implementation. Either way a 16 KB page costs a few
+// microseconds at most, which keeps the fault-free checksum overhead of
+// the out-of-core benches well under the 5% budget (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace gep {
+
+namespace detail_crc {
+
+inline constexpr std::uint32_t kPoly = 0x82F63B78u;  // CRC32C, reflected
+
+struct Crc32cTables {
+  std::uint32_t t[8][256];
+
+  Crc32cTables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? kPoly ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (int s = 1; s < 8; ++s) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+inline const Crc32cTables& tables() {
+  static const Crc32cTables tab;
+  return tab;
+}
+
+inline std::uint32_t update_sw(std::uint32_t crc, const unsigned char* p,
+                               std::size_t len) {
+  const Crc32cTables& tab = tables();
+  while (len >= 8) {
+    std::uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = tab.t[7][lo & 0xFF] ^ tab.t[6][(lo >> 8) & 0xFF] ^
+          tab.t[5][(lo >> 16) & 0xFF] ^ tab.t[4][lo >> 24] ^
+          tab.t[3][hi & 0xFF] ^ tab.t[2][(hi >> 8) & 0xFF] ^
+          tab.t[1][(hi >> 16) & 0xFF] ^ tab.t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) crc = tab.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  return crc;
+}
+
+#if defined(__SSE4_2__)
+inline std::uint32_t update_hw(std::uint32_t crc, const unsigned char* p,
+                               std::size_t len) {
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --len;
+  }
+  std::uint64_t c64 = crc;
+  while (len >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    c64 = _mm_crc32_u64(c64, v);
+    p += 8;
+    len -= 8;
+  }
+  crc = static_cast<std::uint32_t>(c64);
+  while (len-- > 0) crc = _mm_crc32_u8(crc, *p++);
+  return crc;
+}
+#endif
+
+}  // namespace detail_crc
+
+// CRC32C of `len` bytes. crc32c("123456789", 9) == 0xE3069283.
+inline std::uint32_t crc32c(const void* data, std::size_t len,
+                            std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+#if defined(__SSE4_2__)
+  crc = detail_crc::update_hw(crc, p, len);
+#else
+  crc = detail_crc::update_sw(crc, p, len);
+#endif
+  return ~crc;
+}
+
+}  // namespace gep
