@@ -98,6 +98,12 @@ class BenchReport {
 
   void add(BenchRun r) { runs_.push_back(std::move(r)); }
 
+  // Top-level string key/value pairs (e.g. the selected SIMD dispatch
+  // path), emitted once per report rather than per run.
+  void meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, value);
+  }
+
   // Convenience: time + record in one step. Returns the elapsed seconds.
   template <class Fn>
   double timed(const std::string& label, long long n, double flops, Fn&& fn) {
@@ -132,6 +138,7 @@ class BenchReport {
     w.kv("unix_time", static_cast<std::int64_t>(std::time(nullptr)));
     w.kv("gep_obs", obs::kEnabled);
     w.kv("peak_gflops", peak_);
+    for (const auto& [k, v] : meta_) w.kv(k, v);
     CpuInfo info = query_cpu_info();
     w.key("host");
     w.begin_object();
@@ -202,6 +209,7 @@ class BenchReport {
   std::string name_;
   double peak_;
   std::vector<BenchRun> runs_;
+  std::vector<std::pair<std::string, std::string>> meta_;
 };
 
 // FLOP counts used for % of peak (2 flops per multiply-add, matching the

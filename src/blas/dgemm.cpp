@@ -3,75 +3,22 @@
 #include <algorithm>
 #include <cstring>
 
+#include "simd/dispatch.hpp"
+#include "simd/kernels_avx2.hpp"
+#include "simd/microkernel.hpp"
 #include "util/aligned.hpp"
 
 namespace gep::blas {
 namespace {
 
-constexpr index_t MR = 4;  // micro-kernel rows
-constexpr index_t NR = 8;  // micro-kernel cols (one AVX-512 / two AVX2 lanes)
-
-// 4x8 register-blocked micro-kernel: c(4 x 8, row-major ldc) +=
-// alpha * packed_a(kc x 4) * packed_b(kc x 8). The accumulators live in
-// a local array the compiler keeps in vector registers.
-void micro_kernel(index_t kc, double alpha, const double* __restrict pa,
-                  const double* __restrict pb, double* __restrict c,
-                  index_t ldc) {
-  double acc[MR][NR] = {};
-  for (index_t p = 0; p < kc; ++p) {
-    const double* a = pa + p * MR;
-    const double* b = pb + p * NR;
-    for (index_t i = 0; i < MR; ++i) {
-      for (index_t j = 0; j < NR; ++j) acc[i][j] += a[i] * b[j];
-    }
-  }
-  for (index_t i = 0; i < MR; ++i) {
-    for (index_t j = 0; j < NR; ++j) c[i * ldc + j] += alpha * acc[i][j];
-  }
-}
-
-// Edge-case micro-kernel for fringe tiles smaller than MR x NR.
-void micro_kernel_edge(index_t kc, double alpha, const double* pa,
-                       const double* pb, double* c, index_t ldc, index_t mr,
-                       index_t nr) {
-  double acc[MR][NR] = {};
-  for (index_t p = 0; p < kc; ++p) {
-    const double* a = pa + p * MR;
-    const double* b = pb + p * NR;
-    for (index_t i = 0; i < mr; ++i) {
-      for (index_t j = 0; j < nr; ++j) acc[i][j] += a[i] * b[j];
-    }
-  }
-  for (index_t i = 0; i < mr; ++i) {
-    for (index_t j = 0; j < nr; ++j) c[i * ldc + j] += alpha * acc[i][j];
-  }
-}
-
-// Packs an mc x kc block of A into MR-wide column panels (zero padded).
-void pack_a(const double* a, index_t lda, index_t mc, index_t kc,
-            double* dst) {
-  for (index_t i0 = 0; i0 < mc; i0 += MR) {
-    const index_t mr = std::min(MR, mc - i0);
-    for (index_t p = 0; p < kc; ++p) {
-      for (index_t i = 0; i < MR; ++i) {
-        *dst++ = (i < mr) ? a[(i0 + i) * lda + p] : 0.0;
-      }
-    }
-  }
-}
-
-// Packs a kc x nc block of B into NR-wide row panels (zero padded).
-void pack_b(const double* b, index_t ldb, index_t kc, index_t nc,
-            double* dst) {
-  for (index_t j0 = 0; j0 < nc; j0 += NR) {
-    const index_t nr = std::min(NR, nc - j0);
-    for (index_t p = 0; p < kc; ++p) {
-      for (index_t j = 0; j < NR; ++j) {
-        *dst++ = (j < nr) ? b[p * ldb + j0 + j] : 0.0;
-      }
-    }
-  }
-}
+// Shared BLIS-style micro-kernel layer (simd/microkernel.hpp): 6 x 8
+// register-blocked micro-tiles, A packed into MR-row column panels, B
+// into NR-column row panels. The AVX2/FMA micro-kernel is selected once
+// per dgemm_blocked call via runtime dispatch; the scalar reference
+// micro-kernel keeps the identical packed contract on other hosts and
+// under $GEP_FORCE_SCALAR=1.
+constexpr index_t MR = simd::kMicroRows;
+constexpr index_t NR = simd::micro_cols<double>();
 
 }  // namespace
 
@@ -81,18 +28,23 @@ void dgemm_blocked(index_t m, index_t n, index_t k, double alpha,
   if (m <= 0 || n <= 0 || k <= 0) return;
   const index_t mc = bl.mc, kc = bl.kc, nc = bl.nc;
   auto packed_a = make_aligned<double>(
-      static_cast<std::size_t>((mc + MR) * kc + MR * kc));
-  auto packed_b =
-      make_aligned<double>(static_cast<std::size_t>((nc + NR) * kc + NR * kc));
+      static_cast<std::size_t>(simd::packed_a_size<double>(mc, kc)));
+  auto packed_b = make_aligned<double>(
+      static_cast<std::size_t>(simd::packed_b_size<double>(kc, nc)));
+#if GEP_SIMD_X86
+  const bool use_avx2 = simd::active() == simd::Level::Avx2;
+#else
+  const bool use_avx2 = false;
+#endif
 
   for (index_t jc = 0; jc < n; jc += nc) {
     const index_t ncb = std::min(nc, n - jc);
     for (index_t pc = 0; pc < k; pc += kc) {
       const index_t kcb = std::min(kc, k - pc);
-      pack_b(b + pc * ldb + jc, ldb, kcb, ncb, packed_b.get());
+      simd::pack_b(b + pc * ldb + jc, ldb, kcb, ncb, packed_b.get());
       for (index_t ic = 0; ic < m; ic += mc) {
         const index_t mcb = std::min(mc, m - ic);
-        pack_a(a + ic * lda + pc, lda, mcb, kcb, packed_a.get());
+        simd::pack_a(a + ic * lda + pc, lda, mcb, kcb, packed_a.get());
         // Macro kernel over the packed panels.
         for (index_t jr = 0; jr < ncb; jr += NR) {
           const index_t nr = std::min(NR, ncb - jr);
@@ -101,16 +53,27 @@ void dgemm_blocked(index_t m, index_t n, index_t k, double alpha,
             const index_t mr = std::min(MR, mcb - ir);
             const double* pa = packed_a.get() + (ir / MR) * kcb * MR;
             double* cij = c + (ic + ir) * ldc + jc + jr;
+#if GEP_SIMD_X86
+            if (use_avx2) {
+              if (mr == MR && nr == NR) {
+                simd::ukr_avx2(kcb, alpha, pa, pb, cij, ldc);
+              } else {
+                simd::ukr_avx2_edge(kcb, alpha, pa, pb, cij, ldc, mr, nr);
+              }
+              continue;
+            }
+#endif
             if (mr == MR && nr == NR) {
-              micro_kernel(kcb, alpha, pa, pb, cij, ldc);
+              simd::ukr_scalar(kcb, alpha, pa, pb, cij, ldc);
             } else {
-              micro_kernel_edge(kcb, alpha, pa, pb, cij, ldc, mr, nr);
+              simd::ukr_scalar_edge(kcb, alpha, pa, pb, cij, ldc, mr, nr);
             }
           }
         }
       }
     }
   }
+  (void)use_avx2;
 }
 
 void dgemm(index_t m, index_t n, index_t k, double alpha, const double* a,

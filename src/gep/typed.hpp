@@ -15,7 +15,12 @@
 // work-stealing one lives in parallel/), a TileStore (row-major or
 // Z-Morton; layout/zblocked.hpp) and a Problem supplying the pruning
 // rule and the leaf kernel. Leaves are base-size tiles dispatched to the
-// kernels in kernels.hpp.
+// kernels in kernels.hpp — which themselves runtime-dispatch to the
+// AVX2/FMA implementations in simd/ when the host supports them. The
+// BoxKind matters for more than ordering: the di/dj flags each leaf
+// derives from it tell the kernel wrappers when a tile is fully
+// disjoint (D-kind, di == dj == false), which is what licenses routing
+// GE/LU/MM leaves through the packed-panel GEMM (simd/gemm_leaf.hpp).
 #pragma once
 
 #include <type_traits>
@@ -324,12 +329,14 @@ void igep_matmul(Inv& inv, const StoreC& cst, const StoreA& ast,
                  const StoreB& bst, index_t n, TypedOptions opts = {}) {
   using T = std::remove_reference_t<decltype(cst.tile(0, 0)[0])>;
   const index_t bs = std::min(opts.base_size, n);
+  const index_t sc = cst.tile_stride();
+  const index_t sa = ast.tile_stride();
+  const index_t sb = bst.tile_stride();
   auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t m) {
     T* x = cst.tile(i0 / bs, j0 / bs);
     const T* a = ast.tile(i0 / bs, k0 / bs);
     const T* b = bst.tile(k0 / bs, j0 / bs);
-    kernel_mm(x, a, b, m, cst.tile_stride(), ast.tile_stride(),
-              bst.tile_stride());
+    kernel_mm(x, a, b, m, sc, sa, sb);
   };
   detail::mm_rec(inv, 0, 0, 0, n, bs, leaf);
 }

@@ -1,0 +1,62 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/registry.hpp"
+#include "util/cpuinfo.hpp"
+
+namespace gep::simd {
+namespace {
+
+// -1 = no override; otherwise a Level value.
+std::atomic<int> g_forced{-1};
+
+bool env_scalar() {
+  static const bool v = [] {
+    const char* s = std::getenv("GEP_FORCE_SCALAR");
+    return s != nullptr && s[0] != '\0' && std::strcmp(s, "0") != 0;
+  }();
+  return v;
+}
+
+Level detected_level() {
+  static const Level l =
+      cpu_features().can_run_avx2() ? Level::Avx2 : Level::Scalar;
+  return l;
+}
+
+}  // namespace
+
+bool avx2_available() { return detected_level() == Level::Avx2; }
+
+bool forced_scalar_env() { return env_scalar(); }
+
+Level active() {
+  if (env_scalar()) return Level::Scalar;
+  const int f = g_forced.load(std::memory_order_relaxed);
+  if (f >= 0) {
+    const Level l = static_cast<Level>(f);
+    return (l == Level::Avx2 && !avx2_available()) ? Level::Scalar : l;
+  }
+  return detected_level();
+}
+
+void force_level(Level l) {
+  g_forced.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+void clear_forced_level() { g_forced.store(-1, std::memory_order_relaxed); }
+
+const char* level_name(Level l) {
+  return l == Level::Avx2 ? "avx2" : "scalar";
+}
+
+void note_leaf(Level l) {
+  static obs::Counter avx2 = obs::counter("kernels.dispatch.avx2");
+  static obs::Counter scalar = obs::counter("kernels.dispatch.scalar");
+  (l == Level::Avx2 ? avx2 : scalar).inc();
+}
+
+}  // namespace gep::simd

@@ -1,0 +1,109 @@
+#include "simd/gemm_leaf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+#include "simd/dispatch.hpp"
+#include "simd/kernels_avx2.hpp"
+#include "simd/microkernel.hpp"
+#include "util/aligned.hpp"
+
+namespace gep::simd {
+namespace {
+
+// k-chunk for panel packing. Leaf tiles are almost always <= this, so B
+// packs exactly once per leaf call and is reused across all A panels.
+constexpr index_t kGemmKc = kMaxPanelK;
+static_assert(kGemmKc <= kMaxPanelK,
+              "pack_a_scaled's reciprocal buffer is sized for kMaxPanelK");
+
+// Grow-on-demand thread-local packing buffers (index 0 = A, 1 = B).
+// Thread-local keeps the parallel typed engine's workers from sharing —
+// each worker packs into its own panels.
+template <class T>
+T* packing_buffer(int which, std::size_t count) {
+  thread_local AlignedPtr<T> buf[2];
+  thread_local std::size_t cap[2] = {0, 0};
+  if (cap[which] < count) {
+    buf[which] = make_aligned<T>(count);
+    cap[which] = count;
+  }
+  return buf[which].get();
+}
+
+// Shared macro-loop: x += alpha * packed(u') * v, where u' is either u
+// or u scaled by 1/diag(w) (Scaled = GE multiplier fold).
+template <class T, bool Scaled>
+void gemm_impl(T* x, const T* u, const T* v, const T* w, index_t m,
+               index_t sx, index_t su, index_t sv, index_t sw, T alpha) {
+  constexpr index_t MR = kMicroRows;
+  constexpr index_t NR = micro_cols<T>();
+  const index_t kc = std::min(m, kGemmKc);
+  T* pa = packing_buffer<T>(0, static_cast<std::size_t>(packed_a_size<T>(m, kc)));
+  T* pb = packing_buffer<T>(1, static_cast<std::size_t>(packed_b_size<T>(kc, m)));
+#if GEP_SIMD_X86
+  const bool use_avx2 = active() == Level::Avx2;
+#else
+  const bool use_avx2 = false;
+#endif
+
+  for (index_t pc = 0; pc < m; pc += kc) {
+    const index_t kcb = std::min(kc, m - pc);
+    pack_b(v + pc * sv, sv, kcb, m, pb);
+    if constexpr (Scaled) {
+      pack_a_scaled(u + pc, su, m, kcb, w + pc * sw + pc, sw, pa);
+    } else {
+      pack_a(u + pc, su, m, kcb, pa);
+    }
+    for (index_t jr = 0; jr < m; jr += NR) {
+      const index_t nr = std::min(NR, m - jr);
+      const T* pbj = pb + (jr / NR) * kcb * NR;
+      for (index_t ir = 0; ir < m; ir += MR) {
+        const index_t mr = std::min(MR, m - ir);
+        const T* pai = pa + (ir / MR) * kcb * MR;
+        T* cij = x + ir * sx + jr;
+#if GEP_SIMD_X86
+        if (use_avx2) {
+          if (mr == MR && nr == NR) {
+            ukr_avx2(kcb, alpha, pai, pbj, cij, sx);
+          } else {
+            ukr_avx2_edge(kcb, alpha, pai, pbj, cij, sx, mr, nr);
+          }
+          continue;
+        }
+#endif
+        if (mr == MR && nr == NR) {
+          ukr_scalar(kcb, alpha, pai, pbj, cij, sx);
+        } else {
+          ukr_scalar_edge(kcb, alpha, pai, pbj, cij, sx, mr, nr);
+        }
+      }
+    }
+  }
+  (void)use_avx2;
+}
+
+}  // namespace
+
+void gemm_tile(double* x, const double* u, const double* v, index_t m,
+               index_t sx, index_t su, index_t sv, double alpha) {
+  gemm_impl<double, false>(x, u, v, nullptr, m, sx, su, sv, 0, alpha);
+}
+void gemm_tile(float* x, const float* u, const float* v, index_t m,
+               index_t sx, index_t su, index_t sv, float alpha) {
+  gemm_impl<float, false>(x, u, v, nullptr, m, sx, su, sv, 0, alpha);
+}
+
+void gemm_tile_scaled(double* x, const double* u, const double* v,
+                      const double* w, index_t m, index_t sx, index_t su,
+                      index_t sv, index_t sw) {
+  gemm_impl<double, true>(x, u, v, w, m, sx, su, sv, sw, -1.0);
+}
+void gemm_tile_scaled(float* x, const float* u, const float* v,
+                      const float* w, index_t m, index_t sx, index_t su,
+                      index_t sv, index_t sw) {
+  gemm_impl<float, true>(x, u, v, w, m, sx, su, sv, sw, -1.0f);
+}
+
+}  // namespace gep::simd

@@ -1,0 +1,41 @@
+// Packed-panel GEMM routing for D-kind leaves.
+//
+// A D-kind box updates a tile disjoint from its u/v/w inputs, so the
+// k-i-j leaf loop is a pure rank-m update and can run through the
+// BLIS-style packed micro-kernel (simd/microkernel.hpp) instead of the
+// strided axpy form. The B panel (v) is packed once per k-chunk and
+// reused across every A row panel — the "B-panel reuse across the
+// k-sweep" that makes the leaf compute-bound.
+//
+// gep/kernels.hpp routes here only for tiles with m >= kGemmMinM; below
+// that the packing overhead loses to the plain vectorized sweep. The
+// threshold depends only on m, so a run's numeric path is deterministic.
+#pragma once
+
+#include "matrix/matrix.hpp"
+
+namespace gep::simd {
+
+// Minimum tile edge for packed-GEMM routing (see docs/KERNELS.md).
+inline constexpr index_t kGemmMinM = 16;
+
+// x(m x m, row stride sx) += alpha * u(m x m, su) * v(m x m, sv).
+// x must not alias u or v (D-kind contract). alpha = +1 serves
+// kernel_mm leaves, alpha = -1 the D-kind LU schur update.
+void gemm_tile(double* x, const double* u, const double* v, index_t m,
+               index_t sx, index_t su, index_t sv, double alpha);
+void gemm_tile(float* x, const float* u, const float* v, index_t m,
+               index_t sx, index_t su, index_t sv, float alpha);
+
+// D-kind GE leaf: x(m x m) -= (u[i][k] / w[k][k]) * v(m x m). The
+// division folds into A-panel packing (pack_a_scaled) with exactly the
+// scalar kernel's operands and rounding. w is strided by sw; x must not
+// alias u, v, or w.
+void gemm_tile_scaled(double* x, const double* u, const double* v,
+                      const double* w, index_t m, index_t sx, index_t su,
+                      index_t sv, index_t sw);
+void gemm_tile_scaled(float* x, const float* u, const float* v,
+                      const float* w, index_t m, index_t sx, index_t su,
+                      index_t sv, index_t sw);
+
+}  // namespace gep::simd

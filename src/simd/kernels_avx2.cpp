@@ -1,0 +1,391 @@
+// Explicit AVX2/FMA base-case kernels.
+//
+// Compiled with per-function `target("avx2,fma")` attributes so this TU
+// builds under any -march (including the portable -DGEP_NATIVE_ARCH=OFF
+// CI leg); the gep/kernels.hpp wrappers only call in here after
+// simd::active() confirmed the host executes AVX2+FMA.
+//
+// Correctness contracts (verified by tests/test_simd_kernels.cpp):
+//  - fw / bottleneck / tc are BIT-EXACT vs the scalar templates: the
+//    vector lanes perform the identical elementwise add/min/max/or, and
+//    min/max operand order is chosen so ties resolve like std::min /
+//    std::max (second operand = the old x value).
+//  - ge / lu / micro-kernels use FMA, so they are tolerance-equivalent
+//    to scalar (documented in docs/KERNELS.md) and deterministic
+//    run-to-run at fixed dispatch.
+//  - No `restrict` across x/u/v/w: A/B/C-kind boxes alias. Per-row
+//    sweeps are safe because a row-i sweep never overlaps the k-row /
+//    k-column it reads (see the aliasing notes in gep/kernels.hpp).
+#include "simd/kernels_avx2.hpp"
+
+#if GEP_SIMD_X86
+
+#include <immintrin.h>
+
+#include "gep/numeric_guard.hpp"
+
+#define GEP_AVX2_FN __attribute__((target("avx2,fma")))
+
+namespace gep::simd {
+namespace {
+
+// --- row primitives --------------------------------------------------------
+
+// x[0..len) = min(x, t + v)  — elementwise, tie keeps x (std::min order).
+GEP_AVX2_FN inline void minplus_row(double* x, const double* v, double t,
+                                    index_t len) {
+  const __m256d vt = _mm256_set1_pd(t);
+  index_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    const __m256d cand = _mm256_add_pd(vt, _mm256_loadu_pd(v + j));
+    _mm256_storeu_pd(x + j, _mm256_min_pd(cand, _mm256_loadu_pd(x + j)));
+  }
+  for (; j < len; ++j) {
+    const double cand = t + v[j];
+    if (cand < x[j]) x[j] = cand;
+  }
+}
+
+GEP_AVX2_FN inline void minplus_row(float* x, const float* v, float t,
+                                    index_t len) {
+  const __m256 vt = _mm256_set1_ps(t);
+  index_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    const __m256 cand = _mm256_add_ps(vt, _mm256_loadu_ps(v + j));
+    _mm256_storeu_ps(x + j, _mm256_min_ps(cand, _mm256_loadu_ps(x + j)));
+  }
+  for (; j < len; ++j) {
+    const float cand = t + v[j];
+    if (cand < x[j]) x[j] = cand;
+  }
+}
+
+// x[0..len) = max(x, min(t, v)) — tie orders match std::min/std::max.
+GEP_AVX2_FN inline void maxmin_row(double* x, const double* v, double t,
+                                   index_t len) {
+  const __m256d vt = _mm256_set1_pd(t);
+  index_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    const __m256d cand = _mm256_min_pd(_mm256_loadu_pd(v + j), vt);
+    _mm256_storeu_pd(x + j, _mm256_max_pd(cand, _mm256_loadu_pd(x + j)));
+  }
+  for (; j < len; ++j) {
+    const double cand = v[j] < t ? v[j] : t;
+    if (cand > x[j]) x[j] = cand;
+  }
+}
+
+GEP_AVX2_FN inline void maxmin_row(float* x, const float* v, float t,
+                                   index_t len) {
+  const __m256 vt = _mm256_set1_ps(t);
+  index_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    const __m256 cand = _mm256_min_ps(_mm256_loadu_ps(v + j), vt);
+    _mm256_storeu_ps(x + j, _mm256_max_ps(cand, _mm256_loadu_ps(x + j)));
+  }
+  for (; j < len; ++j) {
+    const float cand = v[j] < t ? v[j] : t;
+    if (cand > x[j]) x[j] = cand;
+  }
+}
+
+// x[0..len) -= t * v[0..len)   (FMA, one rounding per element)
+GEP_AVX2_FN inline void fnmadd_row(double* x, const double* v, double t,
+                                   index_t len) {
+  const __m256d vt = _mm256_set1_pd(t);
+  index_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    _mm256_storeu_pd(
+        x + j, _mm256_fnmadd_pd(vt, _mm256_loadu_pd(v + j),
+                                _mm256_loadu_pd(x + j)));
+  }
+  for (; j < len; ++j) x[j] = __builtin_fma(-t, v[j], x[j]);
+}
+
+GEP_AVX2_FN inline void fnmadd_row(float* x, const float* v, float t,
+                                   index_t len) {
+  const __m256 vt = _mm256_set1_ps(t);
+  index_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    _mm256_storeu_ps(
+        x + j, _mm256_fnmadd_ps(vt, _mm256_loadu_ps(v + j),
+                                _mm256_loadu_ps(x + j)));
+  }
+  for (; j < len; ++j) x[j] = __builtin_fmaf(-t, v[j], x[j]);
+}
+
+// x[0..len) += t * v[0..len)
+GEP_AVX2_FN inline void fmadd_row(double* x, const double* v, double t,
+                                  index_t len) {
+  const __m256d vt = _mm256_set1_pd(t);
+  index_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    _mm256_storeu_pd(
+        x + j, _mm256_fmadd_pd(vt, _mm256_loadu_pd(v + j),
+                               _mm256_loadu_pd(x + j)));
+  }
+  for (; j < len; ++j) x[j] = __builtin_fma(t, v[j], x[j]);
+}
+
+GEP_AVX2_FN inline void fmadd_row(float* x, const float* v, float t,
+                                  index_t len) {
+  const __m256 vt = _mm256_set1_ps(t);
+  index_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    _mm256_storeu_ps(
+        x + j, _mm256_fmadd_ps(vt, _mm256_loadu_ps(v + j),
+                               _mm256_loadu_ps(x + j)));
+  }
+  for (; j < len; ++j) x[j] = __builtin_fmaf(t, v[j], x[j]);
+}
+
+// --- shared kernel bodies (double/float via template over row prims) -------
+
+template <class T>
+GEP_AVX2_FN void fw_impl(T* x, const T* u, const T* v, index_t m, index_t sx,
+                         index_t su, index_t sv) {
+  for (index_t k = 0; k < m; ++k) {
+    const T* vk = v + k * sv;
+    for (index_t i = 0; i < m; ++i) {
+      minplus_row(x + i * sx, vk, u[i * su + k], m);
+    }
+  }
+}
+
+template <class T>
+GEP_AVX2_FN void bottleneck_impl(T* x, const T* u, const T* v, index_t m,
+                                 index_t sx, index_t su, index_t sv) {
+  for (index_t k = 0; k < m; ++k) {
+    const T* vk = v + k * sv;
+    for (index_t i = 0; i < m; ++i) {
+      maxmin_row(x + i * sx, vk, u[i * su + k], m);
+    }
+  }
+}
+
+template <class T>
+GEP_AVX2_FN void ge_impl(T* x, const T* u, const T* v, const T* w, index_t m,
+                         index_t sx, index_t su, index_t sv, index_t sw,
+                         bool diag_i, bool diag_j) {
+  for (index_t k = 0; k < m; ++k) {
+    const T wkk = w[k * sw + k];
+    const T* vk = v + k * sv;
+    const index_t ilo = diag_i ? k + 1 : 0;
+    const index_t jlo = diag_j ? k + 1 : 0;
+    for (index_t i = ilo; i < m; ++i) {
+      const T t = u[i * su + k] / wkk;
+      fnmadd_row(x + i * sx + jlo, vk + jlo, t, m - jlo);
+    }
+  }
+}
+
+template <class T>
+GEP_AVX2_FN void lu_impl(T* x, const T* u, const T* v, T* w, index_t m,
+                         index_t sx, index_t su, index_t sv, index_t sw,
+                         bool diag_i, bool diag_j, const PivotGuard* guard,
+                         index_t k_base) {
+  for (index_t k = 0; k < m; ++k) {
+    T wkk = w[k * sw + k];
+    if (guard != nullptr && diag_j) {
+      wkk = guard->admit(&w[k * sw + k], k_base + k,
+                         /*boostable=*/diag_i && diag_j);
+    }
+    const T* vk = v + k * sv;
+    const index_t ilo = diag_i ? k + 1 : 0;
+    const index_t jlo = diag_j ? k + 1 : 0;
+    for (index_t i = ilo; i < m; ++i) {
+      T* xi = x + i * sx;
+      T uik;
+      if (diag_j) {
+        xi[k] /= wkk;  // <i,k,k>: store multiplier (x aliases u here)
+        uik = xi[k];
+      } else {
+        uik = u[i * su + k];
+      }
+      fnmadd_row(xi + jlo, vk + jlo, uik, m - jlo);
+    }
+  }
+}
+
+template <class T>
+GEP_AVX2_FN void mm_impl(T* x, const T* u, const T* v, index_t m, index_t sx,
+                         index_t su, index_t sv) {
+  for (index_t k = 0; k < m; ++k) {
+    const T* vk = v + k * sv;
+    for (index_t i = 0; i < m; ++i) {
+      fmadd_row(x + i * sx, vk, u[i * su + k], m);
+    }
+  }
+}
+
+}  // namespace
+
+// --- GEMM micro-kernels ----------------------------------------------------
+
+// 6 x 8 doubles: 12 ymm accumulators + 2 B vectors + 1 broadcast.
+GEP_AVX2_FN void ukr_avx2(index_t kc, double alpha, const double* pa,
+                          const double* pb, double* c, index_t ldc) {
+  constexpr int MR = 6;
+  constexpr index_t NR = 8;
+  __m256d acc[MR][2];
+  for (int i = 0; i < MR; ++i) {
+    acc[i][0] = _mm256_setzero_pd();
+    acc[i][1] = _mm256_setzero_pd();
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(pb + p * NR);
+    const __m256d b1 = _mm256_loadu_pd(pb + p * NR + 4);
+    const double* a = pa + p * MR;
+    for (int i = 0; i < MR; ++i) {
+      const __m256d ai = _mm256_broadcast_sd(a + i);
+      acc[i][0] = _mm256_fmadd_pd(ai, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_pd(ai, b1, acc[i][1]);
+    }
+  }
+  const __m256d va = _mm256_set1_pd(alpha);
+  for (int i = 0; i < MR; ++i) {
+    double* ci = c + i * ldc;
+    _mm256_storeu_pd(ci,
+                     _mm256_fmadd_pd(va, acc[i][0], _mm256_loadu_pd(ci)));
+    _mm256_storeu_pd(
+        ci + 4, _mm256_fmadd_pd(va, acc[i][1], _mm256_loadu_pd(ci + 4)));
+  }
+}
+
+// 6 x 16 floats.
+GEP_AVX2_FN void ukr_avx2(index_t kc, float alpha, const float* pa,
+                          const float* pb, float* c, index_t ldc) {
+  constexpr int MR = 6;
+  constexpr index_t NR = 16;
+  __m256 acc[MR][2];
+  for (int i = 0; i < MR; ++i) {
+    acc[i][0] = _mm256_setzero_ps();
+    acc[i][1] = _mm256_setzero_ps();
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(pb + p * NR);
+    const __m256 b1 = _mm256_loadu_ps(pb + p * NR + 8);
+    const float* a = pa + p * MR;
+    for (int i = 0; i < MR; ++i) {
+      const __m256 ai = _mm256_broadcast_ss(a + i);
+      acc[i][0] = _mm256_fmadd_ps(ai, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(ai, b1, acc[i][1]);
+    }
+  }
+  const __m256 va = _mm256_set1_ps(alpha);
+  for (int i = 0; i < MR; ++i) {
+    float* ci = c + i * ldc;
+    _mm256_storeu_ps(ci, _mm256_fmadd_ps(va, acc[i][0], _mm256_loadu_ps(ci)));
+    _mm256_storeu_ps(
+        ci + 8, _mm256_fmadd_ps(va, acc[i][1], _mm256_loadu_ps(ci + 8)));
+  }
+}
+
+namespace {
+
+template <class T, index_t NR>
+GEP_AVX2_FN void ukr_edge_impl(index_t kc, T alpha, const T* pa, const T* pb,
+                               T* c, index_t ldc, index_t mr, index_t nr) {
+  // The panels are zero-padded, so computing the full micro-tile into a
+  // scratch buffer is safe; only the valid corner is written back.
+  alignas(64) T tmp[6 * NR] = {};
+  ukr_avx2(kc, alpha, pa, pb, tmp, NR);
+  for (index_t i = 0; i < mr; ++i) {
+    for (index_t j = 0; j < nr; ++j) c[i * ldc + j] += tmp[i * NR + j];
+  }
+}
+
+}  // namespace
+
+GEP_AVX2_FN void ukr_avx2_edge(index_t kc, double alpha, const double* pa,
+                               const double* pb, double* c, index_t ldc,
+                               index_t mr, index_t nr) {
+  ukr_edge_impl<double, 8>(kc, alpha, pa, pb, c, ldc, mr, nr);
+}
+
+GEP_AVX2_FN void ukr_avx2_edge(index_t kc, float alpha, const float* pa,
+                               const float* pb, float* c, index_t ldc,
+                               index_t mr, index_t nr) {
+  ukr_edge_impl<float, 16>(kc, alpha, pa, pb, c, ldc, mr, nr);
+}
+
+// --- leaf kernels ----------------------------------------------------------
+
+GEP_AVX2_FN void fw_avx2(double* x, const double* u, const double* v,
+                         index_t m, index_t sx, index_t su, index_t sv) {
+  fw_impl(x, u, v, m, sx, su, sv);
+}
+GEP_AVX2_FN void fw_avx2(float* x, const float* u, const float* v, index_t m,
+                         index_t sx, index_t su, index_t sv) {
+  fw_impl(x, u, v, m, sx, su, sv);
+}
+
+GEP_AVX2_FN void bottleneck_avx2(double* x, const double* u, const double* v,
+                                 index_t m, index_t sx, index_t su,
+                                 index_t sv) {
+  bottleneck_impl(x, u, v, m, sx, su, sv);
+}
+GEP_AVX2_FN void bottleneck_avx2(float* x, const float* u, const float* v,
+                                 index_t m, index_t sx, index_t su,
+                                 index_t sv) {
+  bottleneck_impl(x, u, v, m, sx, su, sv);
+}
+
+GEP_AVX2_FN void tc_avx2(std::uint8_t* x, const std::uint8_t* u,
+                         const std::uint8_t* v, index_t m, index_t sx,
+                         index_t su, index_t sv) {
+  for (index_t k = 0; k < m; ++k) {
+    const std::uint8_t* vk = v + k * sv;
+    for (index_t i = 0; i < m; ++i) {
+      if (!u[i * su + k]) continue;
+      std::uint8_t* xi = x + i * sx;
+      index_t j = 0;
+      for (; j + 32 <= m; j += 32) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(xi + j));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(vk + j));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(xi + j),
+                            _mm256_or_si256(a, b));
+      }
+      for (; j < m; ++j) xi[j] = static_cast<std::uint8_t>(xi[j] | vk[j]);
+    }
+  }
+}
+
+GEP_AVX2_FN void ge_avx2(double* x, const double* u, const double* v,
+                         const double* w, index_t m, index_t sx, index_t su,
+                         index_t sv, index_t sw, bool diag_i, bool diag_j) {
+  ge_impl(x, u, v, w, m, sx, su, sv, sw, diag_i, diag_j);
+}
+GEP_AVX2_FN void ge_avx2(float* x, const float* u, const float* v,
+                         const float* w, index_t m, index_t sx, index_t su,
+                         index_t sv, index_t sw, bool diag_i, bool diag_j) {
+  ge_impl(x, u, v, w, m, sx, su, sv, sw, diag_i, diag_j);
+}
+
+GEP_AVX2_FN void lu_avx2(double* x, const double* u, const double* v,
+                         double* w, index_t m, index_t sx, index_t su,
+                         index_t sv, index_t sw, bool diag_i, bool diag_j,
+                         const PivotGuard* guard, index_t k_base) {
+  lu_impl(x, u, v, w, m, sx, su, sv, sw, diag_i, diag_j, guard, k_base);
+}
+GEP_AVX2_FN void lu_avx2(float* x, const float* u, const float* v, float* w,
+                         index_t m, index_t sx, index_t su, index_t sv,
+                         index_t sw, bool diag_i, bool diag_j,
+                         const PivotGuard* guard, index_t k_base) {
+  lu_impl(x, u, v, w, m, sx, su, sv, sw, diag_i, diag_j, guard, k_base);
+}
+
+GEP_AVX2_FN void mm_avx2(double* x, const double* u, const double* v,
+                         index_t m, index_t sx, index_t su, index_t sv) {
+  mm_impl(x, u, v, m, sx, su, sv);
+}
+GEP_AVX2_FN void mm_avx2(float* x, const float* u, const float* v, index_t m,
+                         index_t sx, index_t su, index_t sv) {
+  mm_impl(x, u, v, m, sx, su, sv);
+}
+
+}  // namespace gep::simd
+
+#endif  // GEP_SIMD_X86

@@ -1,0 +1,96 @@
+// Explicit AVX2/FMA base-case kernels (declarations).
+//
+// Definitions live in kernels_avx2.cpp, compiled with
+// `__attribute__((target("avx2,fma")))` so the library builds — and the
+// scalar path stays runnable — without any -march flags; callers must
+// check simd::active() == Level::Avx2 (gep/kernels.hpp wrappers do)
+// before invoking. Argument conventions (x/u/v/w, strides, diag flags)
+// match the scalar templates in gep/kernels.hpp exactly; semiring
+// kernels (fw, bottleneck, tc) are bit-identical to scalar, the FMA
+// kernels (ge, lu, mm, micro-kernels) are tolerance-equivalent and
+// deterministic run-to-run. None of these use `restrict` across
+// x/u/v/w — A/B/C-kind boxes alias.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+#include "simd/dispatch.hpp"
+
+#if GEP_SIMD_X86
+
+namespace gep {
+
+class PivotGuard;  // gep/numeric_guard.hpp
+
+namespace simd {
+
+// --- GEMM micro-kernels (packed-panel contract of microkernel.hpp) ---------
+
+// c(6 x 8, row-major ldc) += alpha * packed_a(kc x 6)^T * packed_b(kc x 8).
+void ukr_avx2(index_t kc, double alpha, const double* pa, const double* pb,
+              double* c, index_t ldc);
+// float shape is 6 x 16.
+void ukr_avx2(index_t kc, float alpha, const float* pa, const float* pb,
+              float* c, index_t ldc);
+
+// Fringe variant: computes the full zero-padded micro-tile into a local
+// buffer, writes back only the valid mr x nr corner.
+void ukr_avx2_edge(index_t kc, double alpha, const double* pa,
+                   const double* pb, double* c, index_t ldc, index_t mr,
+                   index_t nr);
+void ukr_avx2_edge(index_t kc, float alpha, const float* pa, const float* pb,
+                   float* c, index_t ldc, index_t mr, index_t nr);
+
+// --- Leaf kernels ----------------------------------------------------------
+
+// min-plus: x[i][j] = min(x[i][j], u[i][k] + v[k][j])   (bit-exact)
+void fw_avx2(double* x, const double* u, const double* v, index_t m,
+             index_t sx, index_t su, index_t sv);
+void fw_avx2(float* x, const float* u, const float* v, index_t m, index_t sx,
+             index_t su, index_t sv);
+
+// max-min: x[i][j] = max(x[i][j], min(u[i][k], v[k][j]))   (bit-exact)
+void bottleneck_avx2(double* x, const double* u, const double* v, index_t m,
+                     index_t sx, index_t su, index_t sv);
+void bottleneck_avx2(float* x, const float* u, const float* v, index_t m,
+                     index_t sx, index_t su, index_t sv);
+
+// or-and over bytes: x[i][j] |= u[i][k] & v[k][j]   (bit-exact)
+void tc_avx2(std::uint8_t* x, const std::uint8_t* u, const std::uint8_t* v,
+             index_t m, index_t sx, index_t su, index_t sv);
+
+// Gaussian elimination box (A/B/C kinds; D-kind routes through
+// gemm_leaf): x[i][j] -= (u[i][k] / w[k][k]) * v[k][j].
+void ge_avx2(double* x, const double* u, const double* v, const double* w,
+             index_t m, index_t sx, index_t su, index_t sv, index_t sw,
+             bool diag_i, bool diag_j);
+void ge_avx2(float* x, const float* u, const float* v, const float* w,
+             index_t m, index_t sx, index_t su, index_t sv, index_t sw,
+             bool diag_i, bool diag_j);
+
+// LU box with in-place multipliers. guard == nullptr is the unguarded
+// kernel; otherwise every diag_j pivot runs through guard->admit
+// (k_base = box's global elimination offset) exactly as
+// scalar::kernel_lu_guarded does — one code path keeps guarded and
+// unguarded runs bit-identical on healthy input. w is written only by
+// an admitting guard with policy Boost.
+void lu_avx2(double* x, const double* u, const double* v, double* w,
+             index_t m, index_t sx, index_t su, index_t sv, index_t sw,
+             bool diag_i, bool diag_j, const PivotGuard* guard,
+             index_t k_base);
+void lu_avx2(float* x, const float* u, const float* v, float* w, index_t m,
+             index_t sx, index_t su, index_t sv, index_t sw, bool diag_i,
+             bool diag_j, const PivotGuard* guard, index_t k_base);
+
+// Small-tile matmul accumulate x += u * v (axpy form, for tiles below
+// the packing threshold; larger D-kind tiles use gemm_leaf).
+void mm_avx2(double* x, const double* u, const double* v, index_t m,
+             index_t sx, index_t su, index_t sv);
+void mm_avx2(float* x, const float* u, const float* v, index_t m, index_t sx,
+             index_t su, index_t sv);
+
+}  // namespace simd
+}  // namespace gep
+
+#endif  // GEP_SIMD_X86

@@ -1,0 +1,148 @@
+// Shared register-blocked GEMM micro-kernel layer (BLIS-style).
+//
+// One packing format and one micro-tile shape serve both the cache-aware
+// BLAS baseline (blas/dgemm.cpp macro loops) and the typed engine's
+// D-kind leaf routing (simd/gemm_leaf.*): A blocks are packed into
+// MR-row column panels, B blocks into NR-column row panels, both
+// zero-padded to full micro-tile width so the interior micro-kernel
+// never sees a fringe.
+//
+// Micro-tile shape: MR x NR = 6 x 8 for double (12 ymm accumulators +
+// 2 B vectors + 1 broadcast = 15 of 16 registers, the AVX2 analogue of
+// BLIS's haswell dgemm kernel) and 6 x 16 for float. The AVX2/FMA
+// micro-kernels live in kernels_avx2.cpp behind runtime dispatch; the
+// scalar reference micro-kernels below keep the identical contract for
+// non-AVX2 hosts and the $GEP_FORCE_SCALAR leg.
+#pragma once
+
+#include <algorithm>
+
+#include "matrix/matrix.hpp"
+
+namespace gep::simd {
+
+// Micro-tile rows (shared) and columns (per element type).
+inline constexpr index_t kMicroRows = 6;
+
+template <class T>
+constexpr index_t micro_cols() {
+  return sizeof(T) == 4 ? 16 : 8;
+}
+
+// Packs an mc x kc block of row-major A (leading dimension lda) into
+// kMicroRows-wide column panels: panel p0 holds rows [p0*MR, p0*MR+MR)
+// laid out column-by-column, short panels zero-padded.
+template <class T>
+void pack_a(const T* a, index_t lda, index_t mc, index_t kc, T* dst) {
+  constexpr index_t MR = kMicroRows;
+  for (index_t i0 = 0; i0 < mc; i0 += MR) {
+    const index_t mr = std::min(MR, mc - i0);
+    for (index_t p = 0; p < kc; ++p) {
+      for (index_t i = 0; i < MR; ++i) {
+        *dst++ = (i < mr) ? a[(i0 + i) * lda + p] : T{};
+      }
+    }
+  }
+}
+
+// Largest k-extent a single pack_a_scaled call accepts (= the k-chunk
+// the leaf GEMM blocks by; gemm_leaf.cpp asserts it never exceeds this).
+inline constexpr index_t kMaxPanelK = 256;
+
+// pack_a with the Gaussian-elimination multiplier fold: packs
+// a[i][p] * (1 / w[p][p]) (w strided by sw), so a D-kind GE leaf
+// becomes the pure GEMM x -= t * v. The reciprocal is hoisted — kc
+// divisions instead of the scalar kernel's mc * kc — which changes each
+// multiplier by at most one ulp relative to the scalar division; the
+// GE kernels are tolerance-equivalent (not bit-exact) across dispatch
+// levels precisely to license this (see docs/KERNELS.md).
+template <class T>
+void pack_a_scaled(const T* a, index_t lda, index_t mc, index_t kc,
+                   const T* w, index_t sw, T* dst) {
+  constexpr index_t MR = kMicroRows;
+  T inv[kMaxPanelK];
+  for (index_t p = 0; p < kc; ++p) inv[p] = T{1} / w[p * sw + p];
+  for (index_t i0 = 0; i0 < mc; i0 += MR) {
+    const index_t mr = std::min(MR, mc - i0);
+    for (index_t p = 0; p < kc; ++p) {
+      const T t = inv[p];
+      for (index_t i = 0; i < MR; ++i) {
+        *dst++ = (i < mr) ? a[(i0 + i) * lda + p] * t : T{};
+      }
+    }
+  }
+}
+
+// Packs a kc x nc block of row-major B (leading dimension ldb) into
+// NR-column row panels, zero-padded.
+template <class T>
+void pack_b(const T* b, index_t ldb, index_t kc, index_t nc, T* dst) {
+  constexpr index_t NR = micro_cols<T>();
+  for (index_t j0 = 0; j0 < nc; j0 += NR) {
+    const index_t nr = std::min(NR, nc - j0);
+    for (index_t p = 0; p < kc; ++p) {
+      for (index_t j = 0; j < NR; ++j) {
+        *dst++ = (j < nr) ? b[p * ldb + j0 + j] : T{};
+      }
+    }
+  }
+}
+
+// Scalar reference micro-kernel:
+// c(MR x NR, row-major ldc) += alpha * packed_a(kc x MR)^T * packed_b.
+// The accumulators live in a local array the compiler keeps in
+// registers; `restrict` holds because packed panels never alias C.
+template <class T>
+void ukr_scalar(index_t kc, T alpha, const T* __restrict pa,
+                const T* __restrict pb, T* __restrict c, index_t ldc) {
+  constexpr index_t MR = kMicroRows;
+  constexpr index_t NR = micro_cols<T>();
+  T acc[MR][NR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const T* a = pa + p * MR;
+    const T* b = pb + p * NR;
+    for (index_t i = 0; i < MR; ++i) {
+      for (index_t j = 0; j < NR; ++j) acc[i][j] += a[i] * b[j];
+    }
+  }
+  for (index_t i = 0; i < MR; ++i) {
+    for (index_t j = 0; j < NR; ++j) c[i * ldc + j] += alpha * acc[i][j];
+  }
+}
+
+// Fringe micro-kernel for tiles smaller than MR x NR. The panels are
+// zero-padded so the full-width accumulation is safe; only the valid
+// mr x nr corner is written back. Same `restrict` contract as above —
+// the packed panels are private buffers, never aliases of C.
+template <class T>
+void ukr_scalar_edge(index_t kc, T alpha, const T* __restrict pa,
+                     const T* __restrict pb, T* __restrict c, index_t ldc,
+                     index_t mr, index_t nr) {
+  constexpr index_t MR = kMicroRows;
+  constexpr index_t NR = micro_cols<T>();
+  T acc[MR][NR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const T* a = pa + p * MR;
+    const T* b = pb + p * NR;
+    for (index_t i = 0; i < mr; ++i) {
+      for (index_t j = 0; j < nr; ++j) acc[i][j] += a[i] * b[j];
+    }
+  }
+  for (index_t i = 0; i < mr; ++i) {
+    for (index_t j = 0; j < nr; ++j) c[i * ldc + j] += alpha * acc[i][j];
+  }
+}
+
+// Number of packed elements pack_a / pack_b emit for an mc x kc (resp.
+// kc x nc) block — buffer sizing for callers.
+template <class T>
+constexpr index_t packed_a_size(index_t mc, index_t kc) {
+  return ((mc + kMicroRows - 1) / kMicroRows) * kMicroRows * kc;
+}
+template <class T>
+constexpr index_t packed_b_size(index_t kc, index_t nc) {
+  constexpr index_t NR = micro_cols<T>();
+  return ((nc + NR - 1) / NR) * NR * kc;
+}
+
+}  // namespace gep::simd

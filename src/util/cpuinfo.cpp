@@ -1,11 +1,52 @@
 #include "util/cpuinfo.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define GEP_CPUINFO_X86 1
+#else
+#define GEP_CPUINFO_X86 0
+#endif
+
 namespace gep {
 namespace {
+
+#if GEP_CPUINFO_X86
+
+// XCR0 via xgetbv; only callable once CPUID reports OSXSAVE.
+std::uint64_t read_xcr0() {
+  std::uint32_t eax = 0, edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0u));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures detect_features() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  f.fma = (ecx & bit_FMA) != 0;
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  if (osxsave) {
+    const std::uint64_t xcr0 = read_xcr0();
+    f.os_avx = (xcr0 & 0x6) == 0x6;          // XMM + YMM state saved
+    f.os_avx512 = (xcr0 & 0xe6) == 0xe6;     // + opmask, ZMM0-15, ZMM16-31
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx2 = (ebx & bit_AVX2) != 0;
+    f.avx512f = (ebx & bit_AVX512F) != 0;
+  }
+  return f;
+}
+
+#else
+
+CpuFeatures detect_features() { return CpuFeatures{}; }
+
+#endif  // GEP_CPUINFO_X86
 
 std::string read_first_line(const std::string& path) {
   std::ifstream in(path);
@@ -32,6 +73,23 @@ std::size_t parse_size(const std::string& s) {
 
 }  // namespace
 
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect_features();
+  return f;
+}
+
+std::string CpuFeatures::summary() const {
+  std::string s;
+  auto add = [&](const char* name) {
+    if (!s.empty()) s += '+';
+    s += name;
+  };
+  if (avx2 && os_avx) add("avx2");
+  if (fma && os_avx) add("fma");
+  if (avx512f && os_avx512) add("avx512f");
+  return s.empty() ? "none" : s;
+}
+
 CacheLevel CpuInfo::level(int lvl) const {
   for (const auto& c : caches) {
     if (c.level == lvl && c.type != "Instruction") return c;
@@ -49,11 +107,13 @@ std::string CpuInfo::summary() const {
     if (c.associativity > 0) out << "/" << c.associativity << "w";
     if (c.line_bytes > 0) out << "/B=" << c.line_bytes;
   }
+  out << ", simd=" << features.summary();
   return out.str();
 }
 
 CpuInfo query_cpu_info() {
   CpuInfo info;
+  info.features = cpu_features();
   info.logical_cpus =
       static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 

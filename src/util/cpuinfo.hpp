@@ -19,10 +19,32 @@ struct CacheLevel {
   int associativity = 0;    // 0 when unknown / fully associative
 };
 
+// x86 SIMD capability flags (CPUID + XGETBV). All false on non-x86
+// hosts. `os_avx` / `os_avx512` report whether the OS context-switches
+// the ymm / zmm register state (XCR0) — an ISA bit without the matching
+// OS bit must not be dispatched to.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool os_avx = false;
+  bool os_avx512 = false;
+
+  // True when AVX2+FMA kernels are safe to execute on this host.
+  bool can_run_avx2() const { return avx2 && fma && os_avx; }
+
+  // "avx2+fma+avx512f" / "avx2+fma" / "none" — for banners and reports.
+  std::string summary() const;
+};
+
+// Detected once (first call) via CPUID; never throws.
+const CpuFeatures& cpu_features();
+
 struct CpuInfo {
   std::string model_name;
   int logical_cpus = 1;
   std::vector<CacheLevel> caches;
+  CpuFeatures features;
 
   // First data/unified cache at the given level, or a zeroed default.
   CacheLevel level(int lvl) const;
