@@ -2,6 +2,8 @@
 // (paper Table 2 equivalent), workload generators, and flop accounting.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -13,6 +15,7 @@
 
 #include "matrix/matrix.hpp"
 #include "obs/obs.hpp"
+#include "simd/dispatch.hpp"
 #include "util/cpuinfo.hpp"
 #include "util/peak.hpp"
 #include "util/prng.hpp"
@@ -20,6 +23,12 @@
 #include "util/timer.hpp"
 
 namespace gep::bench {
+
+// Version of the BENCH_*.json / BENCH_manifest.json schema. Bump when a
+// field changes meaning; additive fields don't require a bump.
+//   v2: repeats (min/median/MAD), per-run profiles, folded stacks,
+//       trace_dropped, dispatch_level, schema_version itself.
+inline constexpr int kBenchSchemaVersion = 2;
 
 // Prints the machine row (our stand-in for the paper's Table 2) and
 // returns the measured peak in GFLOP/s used for "% of peak" columns.
@@ -79,21 +88,73 @@ inline Matrix<double> random_matrix(index_t n, std::uint64_t seed) {
 struct BenchRun {
   std::string label;
   long long n = 0;
-  double seconds = 0.0;
+  double seconds = 0.0;  // median of the repeats
   double gflops = 0.0;
   double pct_peak = 0.0;
   obs::HwSample hw;  // valid=false when counters were unavailable
   std::vector<std::pair<std::string, double>> extra;
+  // Repeat statistics (fields trail the aggregate-initialized prefix
+  // above; single-shot runs keep the defaults).
+  int repeats = 1;
+  double seconds_min = 0.0;  // fastest repeat
+  double seconds_mad = 0.0;  // median absolute deviation of the repeats
+  std::string profile_json;  // per-run tracer profile (empty: not traced)
 };
+
+// Number of timed repetitions per labeled run ($GEP_BENCH_REPEATS,
+// default 1 = the historical single-shot behavior). With k > 1, timed()
+// additionally executes one untimed warmup pass and reports the median
+// with min/MAD noise bounds.
+inline int bench_repeats() {
+  const char* s = std::getenv("GEP_BENCH_REPEATS");
+  if (s == nullptr) return 1;
+  const long k = std::strtol(s, nullptr, 10);
+  return k < 1 ? 1 : k > 99 ? 99 : static_cast<int>(k);
+}
+
+// Testing-only fault line for the regression gate
+// ($GEP_BENCH_HANDICAP="<label-substring>:<factor>"): multiplies the
+// recorded wall time of matching runs so CI can prove gep_bench_diff
+// flags a real slowdown without actually burning the cycles.
+inline double handicap_factor(const std::string& label) {
+  const char* s = std::getenv("GEP_BENCH_HANDICAP");
+  if (s == nullptr) return 1.0;
+  const std::string spec(s);
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) return 1.0;
+  if (label.find(spec.substr(0, colon)) == std::string::npos) return 1.0;
+  const double f = std::atof(spec.c_str() + colon + 1);
+  return f > 0 ? f : 1.0;
+}
+
+inline double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t h = v.size() / 2;
+  return v.size() % 2 != 0 ? v[h] : 0.5 * (v[h - 1] + v[h]);
+}
+
+// Median absolute deviation — the robust noise scale the diff gate's
+// thresholds are expressed in.
+inline double mad_of(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double med = median_of(v);
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (double x : v) dev.push_back(std::fabs(x - med));
+  return median_of(std::move(dev));
+}
 
 class BenchReport {
  public:
   // `name` is the figure tag ("fig10_ge"); output file BENCH_<name>.json.
   // Starts the recursion tracer when $GEP_OBS_TRACE is set (the trace is
-  // written by write()).
+  // written by write()) and the leaf sampler when
+  // $GEP_OBS_PROFILE_SAMPLE is set.
   BenchReport(std::string name, double peak_gflops)
       : name_(std::move(name)), peak_(peak_gflops) {
     if (obs::Tracer::env_path() != nullptr) obs::Tracer::start();
+    obs::LeafSampler::enable_from_env();
   }
 
   void add(BenchRun r) { runs_.push_back(std::move(r)); }
@@ -104,23 +165,63 @@ class BenchReport {
     meta_.emplace_back(key, value);
   }
 
-  // Convenience: time + record in one step. Returns the elapsed seconds.
+  // Convenience: time + record in one step. Returns the recorded
+  // (median) seconds. Runs $GEP_BENCH_REPEATS timed repetitions after
+  // one untimed warmup (single-shot, no warmup, when unset). When
+  // tracing is on, the tracer is cleared at the start of each labeled
+  // run so per-run profiles don't bleed into each other; the profile of
+  // this run's spans is attached to the BenchRun.
   template <class Fn>
   double timed(const std::string& label, long long n, double flops, Fn&& fn) {
+    const int reps = bench_repeats();
+    if (reps > 1) fn();  // warmup, untimed
+    const bool tracing = obs::Tracer::env_path() != nullptr;
+    if (tracing) {
+      obs::Tracer::clear();  // drop warmup + earlier runs' spans
+      obs::Tracer::start();
+      obs::LeafSampler::reset();
+    }
+    std::vector<double> times(static_cast<std::size_t>(reps));
+    std::vector<obs::HwSample> samples(static_cast<std::size_t>(reps));
     obs::HwCounters hw;
-    hw.start();
-    WallTimer t;
-    fn();
-    const double dt = t.seconds();
+    for (int rep = 0; rep < reps; ++rep) {
+      // The hardware counters bracket exactly the timed region —
+      // stop() reads them before any report bookkeeping happens.
+      hw.start();
+      WallTimer t;
+      fn();
+      const double dt = t.seconds();
+      samples[static_cast<std::size_t>(rep)] = hw.stop();
+      times[static_cast<std::size_t>(rep)] = dt;
+    }
+    const double factor = handicap_factor(label);
+    for (double& t : times) t *= factor;
+    const double med = median_of(times);
+    std::size_t med_idx = 0;
+    for (std::size_t i = 1; i < times.size(); ++i)
+      if (std::fabs(times[i] - med) < std::fabs(times[med_idx] - med))
+        med_idx = i;
     BenchRun r;
     r.label = label;
     r.n = n;
-    r.seconds = dt;
-    r.gflops = flops / dt / 1e9;
+    r.seconds = med;
+    r.gflops = flops / med / 1e9;
     r.pct_peak = peak_ > 0 ? 100.0 * r.gflops / peak_ : 0.0;
-    r.hw = hw.stop();
+    r.repeats = reps;
+    r.seconds_min = *std::min_element(times.begin(), times.end());
+    r.seconds_mad = mad_of(times);
+    r.hw = samples[med_idx];
+    if (tracing) {
+      obs::Tracer::stop();
+      obs::Profile prof = obs::Profile::collect();
+      if (!prof.empty()) {
+        r.profile_json = prof.json();
+        folded_ += prof.folded(name_ + ";" + label);
+      }
+      obs::Tracer::start();  // keep later (untimed) spans in the trace
+    }
     add(std::move(r));
-    return dt;
+    return med;
   }
 
   // Attaches {key, value} to the most recently added run.
@@ -135,9 +236,12 @@ class BenchReport {
     obs::JsonWriter w(os);
     w.begin_object();
     w.kv("bench", name_);
+    w.kv("schema_version", kBenchSchemaVersion);
     w.kv("unix_time", static_cast<std::int64_t>(std::time(nullptr)));
     w.kv("gep_obs", obs::kEnabled);
     w.kv("peak_gflops", peak_);
+    w.kv("dispatch_level", simd::active_name());
+    w.kv("bench_repeats", bench_repeats());
     for (const auto& [k, v] : meta_) w.kv(k, v);
     CpuInfo info = query_cpu_info();
     w.key("host");
@@ -167,6 +271,13 @@ class BenchReport {
       w.kv("seconds", r.seconds);
       w.kv("gflops", r.gflops);
       w.kv("pct_peak", r.pct_peak);
+      w.kv("repeats", r.repeats);
+      w.kv("seconds_min", r.repeats > 1 ? r.seconds_min : r.seconds);
+      w.kv("seconds_mad", r.seconds_mad);
+      if (!r.profile_json.empty()) {
+        w.key("profile");
+        w.raw(r.profile_json);
+      }
       w.key("hw");
       if (r.hw.valid) {
         w.begin_object();
@@ -188,6 +299,9 @@ class BenchReport {
     // under GEP_OBS=0.
     w.key("metrics");
     w.raw(obs::snapshot_json());
+    // Dropped spans silently truncate profiles — surface the count so a
+    // nonzero value is visible in every report.
+    w.kv("trace_dropped", obs::Tracer::dropped_count());
     if (const char* tp = obs::Tracer::env_path()) {
       obs::Tracer::stop();
       if (obs::Tracer::write_chrome_trace(tp)) {
@@ -196,6 +310,16 @@ class BenchReport {
                                  obs::Tracer::event_count()));
         std::printf("trace: %zu span(s) -> %s (open in chrome://tracing)\n",
                     obs::Tracer::event_count(), tp);
+      }
+    }
+    if (!folded_.empty()) {
+      const std::string fpath = "BENCH_" + name_ + ".folded";
+      std::ofstream fs(fpath);
+      fs << folded_;
+      if (fs) {
+        w.kv("folded_file", fpath);
+        std::printf("folded stacks: %s (feed to flamegraph.pl)\n",
+                    fpath.c_str());
       }
     }
     w.end_object();
@@ -210,6 +334,7 @@ class BenchReport {
   double peak_;
   std::vector<BenchRun> runs_;
   std::vector<std::pair<std::string, std::string>> meta_;
+  std::string folded_;
 };
 
 // FLOP counts used for % of peak (2 flops per multiply-add, matching the

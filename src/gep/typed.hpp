@@ -93,6 +93,10 @@ void typed_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
     tm.leaf_calls[ki].inc();
     tm.updates[ki].inc(static_cast<std::uint64_t>(m) * m * m);
 #endif
+    // Sampled hardware-counter attribution (obs/profile.hpp): brackets
+    // every Nth leaf per thread when the LeafSampler is enabled; one
+    // relaxed load otherwise.
+    obs::ScopedLeafSample sample(box_kind_char(kind), m);
     leaf(i0, j0, k0, m, kind);
     return;
   }
@@ -174,6 +178,7 @@ void mm_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
     calls.inc();
     upd.inc(static_cast<std::uint64_t>(m) * m * m);
 #endif
+    obs::ScopedLeafSample sample('D', m);
     leaf(i0, j0, k0, m);
     return;
   }

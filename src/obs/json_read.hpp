@@ -1,0 +1,326 @@
+// Minimal recursive-descent JSON reader — the counterpart of
+// obs/json.hpp's writer, used by the bench-manifest aggregator, the
+// regression-diff gate (tools/), and the tests that round-trip
+// BENCH_*.json output. Always compiled, independent of GEP_OBS.
+//
+// Scope: full JSON values (object / array / string / number / bool /
+// null), escape sequences including \uXXXX (surrogate pairs decoded to
+// UTF-8), a nesting-depth cap instead of unbounded recursion. Numbers
+// are held as double — exact for the 53-bit counter ranges the bench
+// reports actually carry.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gep::obs {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool(bool dflt = false) const { return is_bool() ? b_ : dflt; }
+  double as_double(double dflt = 0.0) const {
+    return is_number() ? num_ : dflt;
+  }
+  std::int64_t as_int(std::int64_t dflt = 0) const {
+    return is_number() ? static_cast<std::int64_t>(num_) : dflt;
+  }
+  const std::string& as_string() const { return str_; }
+
+  const std::vector<JsonValue>& items() const { return arr_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return obj_;
+  }
+  std::size_t size() const {
+    return is_array() ? arr_.size() : is_object() ? obj_.size() : 0;
+  }
+
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+
+  // Object lookup; returns a shared null value when absent (so lookups
+  // chain without null checks: v["a"]["b"].as_double()).
+  const JsonValue& operator[](std::string_view key) const {
+    const JsonValue* v = find(key);
+    return v != nullptr ? *v : null_value();
+  }
+  const JsonValue& operator[](std::size_t i) const {
+    return is_array() && i < arr_.size() ? arr_[i] : null_value();
+  }
+
+  const JsonValue* find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : obj_)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  // Parses `text` into `*out`. On failure returns false and, when `err`
+  // is non-null, describes the first error and its byte offset.
+  static bool parse(std::string_view text, JsonValue* out,
+                    std::string* err = nullptr) {
+    Parser p{text, 0, err};
+    if (!p.value(out, 0)) return false;
+    p.skip_ws();
+    if (p.pos != text.size()) {
+      p.fail("trailing characters after JSON value");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static const JsonValue& null_value() {
+    static const JsonValue v;
+    return v;
+  }
+
+  struct Parser {
+    std::string_view s;
+    std::size_t pos;
+    std::string* err;
+    static constexpr int kMaxDepth = 256;
+
+    bool fail(const std::string& what) {
+      if (err != nullptr && err->empty())
+        *err = what + " at offset " + std::to_string(pos);
+      return false;
+    }
+    void skip_ws() {
+      while (pos < s.size() &&
+             (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+              s[pos] == '\r'))
+        ++pos;
+    }
+    bool literal(std::string_view lit) {
+      if (s.substr(pos, lit.size()) != lit) return false;
+      pos += lit.size();
+      return true;
+    }
+
+    bool value(JsonValue* out, int depth) {
+      if (depth > kMaxDepth) return fail("nesting too deep");
+      skip_ws();
+      if (pos >= s.size()) return fail("unexpected end of input");
+      switch (s[pos]) {
+        case '{': return object(out, depth);
+        case '[': return array(out, depth);
+        case '"':
+          out->type_ = Type::String;
+          return string(&out->str_);
+        case 't':
+          if (!literal("true")) return fail("bad literal");
+          out->type_ = Type::Bool;
+          out->b_ = true;
+          return true;
+        case 'f':
+          if (!literal("false")) return fail("bad literal");
+          out->type_ = Type::Bool;
+          out->b_ = false;
+          return true;
+        case 'n':
+          if (!literal("null")) return fail("bad literal");
+          out->type_ = Type::Null;
+          return true;
+        default: return number(out);
+      }
+    }
+
+    bool object(JsonValue* out, int depth) {
+      ++pos;  // '{'
+      out->type_ = Type::Object;
+      skip_ws();
+      if (pos < s.size() && s[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        if (pos >= s.size() || s[pos] != '"')
+          return fail("expected object key");
+        std::string key;
+        if (!string(&key)) return false;
+        skip_ws();
+        if (pos >= s.size() || s[pos] != ':') return fail("expected ':'");
+        ++pos;
+        JsonValue v;
+        if (!value(&v, depth + 1)) return false;
+        out->obj_.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (pos >= s.size()) return fail("unterminated object");
+        if (s[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (s[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+
+    bool array(JsonValue* out, int depth) {
+      ++pos;  // '['
+      out->type_ = Type::Array;
+      skip_ws();
+      if (pos < s.size() && s[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        JsonValue v;
+        if (!value(&v, depth + 1)) return false;
+        out->arr_.push_back(std::move(v));
+        skip_ws();
+        if (pos >= s.size()) return fail("unterminated array");
+        if (s[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (s[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+
+    bool hex4(std::uint32_t* out) {
+      if (pos + 4 > s.size()) return fail("truncated \\u escape");
+      std::uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) {
+        const char c = s[pos + static_cast<std::size_t>(i)];
+        v <<= 4;
+        if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+          v |= static_cast<std::uint32_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+          v |= static_cast<std::uint32_t>(c - 'A' + 10);
+        else
+          return fail("bad \\u escape");
+      }
+      pos += 4;
+      *out = v;
+      return true;
+    }
+
+    static void append_utf8(std::string* out, std::uint32_t cp) {
+      if (cp < 0x80) {
+        out->push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+    }
+
+    bool string(std::string* out) {
+      ++pos;  // '"'
+      out->clear();
+      while (pos < s.size()) {
+        const char c = s[pos];
+        if (c == '"') {
+          ++pos;
+          return true;
+        }
+        if (c == '\\') {
+          ++pos;
+          if (pos >= s.size()) return fail("truncated escape");
+          const char e = s[pos++];
+          switch (e) {
+            case '"': out->push_back('"'); break;
+            case '\\': out->push_back('\\'); break;
+            case '/': out->push_back('/'); break;
+            case 'b': out->push_back('\b'); break;
+            case 'f': out->push_back('\f'); break;
+            case 'n': out->push_back('\n'); break;
+            case 'r': out->push_back('\r'); break;
+            case 't': out->push_back('\t'); break;
+            case 'u': {
+              std::uint32_t cp = 0;
+              if (!hex4(&cp)) return false;
+              if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+                if (pos + 1 < s.size() && s[pos] == '\\' &&
+                    s[pos + 1] == 'u') {
+                  pos += 2;
+                  std::uint32_t lo = 0;
+                  if (!hex4(&lo)) return false;
+                  if (lo >= 0xDC00 && lo <= 0xDFFF)
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                  else
+                    return fail("unpaired surrogate");
+                } else {
+                  return fail("unpaired surrogate");
+                }
+              }
+              append_utf8(out, cp);
+              break;
+            }
+            default: return fail("bad escape character");
+          }
+          continue;
+        }
+        if (static_cast<unsigned char>(c) < 0x20)
+          return fail("raw control character in string");
+        out->push_back(c);
+        ++pos;
+      }
+      return fail("unterminated string");
+    }
+
+    bool number(JsonValue* out) {
+      const std::size_t start = pos;
+      if (pos < s.size() && s[pos] == '-') ++pos;
+      while (pos < s.size() &&
+             (std::isdigit(static_cast<unsigned char>(s[pos])) != 0 ||
+              s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+              s[pos] == '+' || s[pos] == '-'))
+        ++pos;
+      if (pos == start) return fail("expected a value");
+      const std::string tok(s.substr(start, pos - start));
+      char* end = nullptr;
+      const double v = std::strtod(tok.c_str(), &end);
+      if (end != tok.c_str() + tok.size() || !std::isfinite(v)) {
+        pos = start;
+        return fail("malformed number");
+      }
+      out->type_ = Type::Number;
+      out->num_ = v;
+      return true;
+    }
+  };
+
+  Type type_ = Type::Null;
+  bool b_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+}  // namespace gep::obs

@@ -6,7 +6,11 @@
 //                     L1d / LLC misses) with graceful no-op fallback
 //   trace.hpp       — scoped spans for the typed recursion, exported as
 //                     Chrome trace_event JSON
+//   profile.hpp     — aggregation pass over the tracer: per-(kind,depth)
+//                     attribution, folded flamegraph stacks, sampled
+//                     leaf roofline points
 //   json.hpp        — the streaming JSON writer the exporters share
+//   json_read.hpp   — the matching reader (manifest / diff tooling)
 //
 // Compile-time switch: GEP_OBS (default 1; CMake -DGEP_OBS=0 turns every
 // producer into an inline no-op stub — the default hot paths carry no
@@ -15,5 +19,7 @@
 
 #include "obs/hw_counters.hpp"
 #include "obs/json.hpp"
+#include "obs/json_read.hpp"
+#include "obs/profile.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"

@@ -1,0 +1,383 @@
+#include "obs/profile.hpp"
+
+#if GEP_OBS
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "obs/hw_counters.hpp"
+
+namespace gep::obs {
+inline namespace on {
+
+namespace {
+
+// A..D map to slots 0..3; every other kind byte shares the overflow
+// slot so free-form spans don't corrupt the typed families.
+constexpr int kKinds = 5;
+
+int kind_slot(char k) {
+  return (k >= 'A' && k <= 'D') ? k - 'A' : kKinds - 1;
+}
+
+struct alignas(64) KindAccum {
+  std::atomic<std::uint64_t> samples{0};
+  std::atomic<std::uint64_t> flops{0};
+  std::atomic<std::uint64_t> cycles{0};
+  std::atomic<std::uint64_t> instructions{0};
+  std::atomic<std::uint64_t> l1d{0};
+  std::atomic<std::uint64_t> llc{0};
+  std::atomic<std::uint64_t> counted{0};  // samples with a valid HwSample
+};
+
+struct SamplerState {
+  std::atomic<std::uint32_t> period{0};  // 0 = off
+  KindAccum kinds[kKinds];
+};
+
+SamplerState& sampler() {
+  static SamplerState* s = new SamplerState();  // leaked: see Registry
+  return *s;
+}
+
+// Thread-local HwCounters, opened lazily on the first sampled leaf.
+HwCounters& thread_hw() {
+  thread_local HwCounters hw;
+  return hw;
+}
+
+thread_local std::uint32_t t_leaf_tick = 0;
+thread_local bool t_hw_running = false;
+
+}  // namespace
+
+// --- LeafSampler -----------------------------------------------------------
+
+void LeafSampler::enable(std::uint32_t every_n) {
+  sampler().period.store(every_n, std::memory_order_relaxed);
+}
+
+bool LeafSampler::enabled() {
+  return sampler().period.load(std::memory_order_relaxed) != 0;
+}
+
+std::uint32_t LeafSampler::period() {
+  return sampler().period.load(std::memory_order_relaxed);
+}
+
+void LeafSampler::enable_from_env() {
+  const char* s = std::getenv("GEP_OBS_PROFILE_SAMPLE");
+  if (s == nullptr) return;
+  const long n = std::strtol(s, nullptr, 10);
+  if (n > 0) enable(static_cast<std::uint32_t>(n));
+}
+
+std::vector<RooflinePoint> LeafSampler::snapshot() {
+  std::vector<RooflinePoint> out;
+  SamplerState& st = sampler();
+  for (int i = 0; i < kKinds; ++i) {
+    const KindAccum& a = st.kinds[i];
+    const std::uint64_t n = a.samples.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    RooflinePoint p;
+    p.kind = i < 4 ? static_cast<char>('A' + i) : '?';
+    p.samples = n;
+    p.flops = a.flops.load(std::memory_order_relaxed);
+    p.cycles = a.cycles.load(std::memory_order_relaxed);
+    p.instructions = a.instructions.load(std::memory_order_relaxed);
+    p.l1d_misses = a.l1d.load(std::memory_order_relaxed);
+    p.llc_misses = a.llc.load(std::memory_order_relaxed);
+    const bool counted = a.counted.load(std::memory_order_relaxed) > 0;
+    p.has_cycles = counted && p.cycles > 0;
+    p.has_instructions = counted && p.instructions > 0;
+    p.has_l1d = counted && p.l1d_misses > 0;
+    p.has_llc = counted && p.llc_misses > 0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+void LeafSampler::reset() {
+  SamplerState& st = sampler();
+  for (KindAccum& a : st.kinds) {
+    a.samples.store(0, std::memory_order_relaxed);
+    a.flops.store(0, std::memory_order_relaxed);
+    a.cycles.store(0, std::memory_order_relaxed);
+    a.instructions.store(0, std::memory_order_relaxed);
+    a.l1d.store(0, std::memory_order_relaxed);
+    a.llc.store(0, std::memory_order_relaxed);
+    a.counted.store(0, std::memory_order_relaxed);
+  }
+}
+
+ScopedLeafSample::ScopedLeafSample(char kind, long long m) {
+  const std::uint32_t n = sampler().period.load(std::memory_order_relaxed);
+  if (n == 0) return;
+  if (++t_leaf_tick % n != 0) return;
+  kind_ = kind;
+  m_ = static_cast<std::uint64_t>(m);
+  HwCounters& hw = thread_hw();
+  if (hw.available() && !t_hw_running) {
+    hw.start();
+    t_hw_running = true;
+  }
+  on_ = true;
+}
+
+ScopedLeafSample::~ScopedLeafSample() {
+  if (!on_) return;
+  KindAccum& a = sampler().kinds[kind_slot(kind_)];
+  a.samples.fetch_add(1, std::memory_order_relaxed);
+  a.flops.fetch_add(2 * m_ * m_ * m_, std::memory_order_relaxed);
+  if (t_hw_running) {
+    HwSample s = thread_hw().stop();
+    t_hw_running = false;
+    if (s.valid) {
+      a.counted.fetch_add(1, std::memory_order_relaxed);
+      if (s.has_cycles)
+        a.cycles.fetch_add(s.cycles, std::memory_order_relaxed);
+      if (s.has_instructions)
+        a.instructions.fetch_add(s.instructions, std::memory_order_relaxed);
+      if (s.has_l1d)
+        a.l1d.fetch_add(s.l1d_misses, std::memory_order_relaxed);
+      if (s.has_llc)
+        a.llc.fetch_add(s.llc_misses, std::memory_order_relaxed);
+    }
+  }
+}
+
+// --- Profile aggregation ---------------------------------------------------
+
+namespace {
+
+struct OpenFrame {
+  TraceEvent e;
+  std::uint64_t children_ns = 0;
+  std::size_t path_len = 0;  // length of the folded path up to this frame
+};
+
+bool contains(const TraceEvent& parent, const TraceEvent& child) {
+  return parent.t0_ns <= child.t0_ns && child.t1_ns <= parent.t1_ns &&
+         parent.depth < child.depth;
+}
+
+}  // namespace
+
+Profile Profile::from_traces(const std::vector<ThreadTrace>& traces) {
+  Profile p;
+
+  struct Key {
+    char kind;
+    int depth;
+    bool operator<(const Key& o) const {
+      return depth != o.depth ? depth < o.depth : kind < o.kind;
+    }
+  };
+  struct Acc {
+    std::uint64_t calls = 0, total = 0, self = 0, m_sum = 0;
+  };
+  std::map<Key, Acc> acc;
+  std::map<std::string, std::uint64_t> folded;
+
+  std::uint64_t min_t0 = ~std::uint64_t{0}, max_t1 = 0;
+
+  for (const ThreadTrace& tt : traces) {
+    p.dropped_ += tt.dropped;
+    if (tt.events.empty()) continue;
+
+    // Top-down interval sweep: sort by start time (parents first at
+    // ties — depth rises along a nesting chain), keep the stack of
+    // enclosing spans, finalize a frame when the next span escapes it.
+    std::vector<TraceEvent> ev = tt.events;
+    std::sort(ev.begin(), ev.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+                if (a.depth != b.depth) return a.depth < b.depth;
+                return a.t1_ns > b.t1_ns;
+              });
+
+    ThreadProfile th;
+    th.tid = tt.tid;
+
+    std::vector<OpenFrame> stack;
+    std::string path = "t" + std::to_string(tt.tid);
+    char frame[48];
+
+    auto finalize = [&](const OpenFrame& f) {
+      const std::uint64_t dur = f.e.t1_ns - f.e.t0_ns;
+      const std::uint64_t self =
+          dur > f.children_ns ? dur - f.children_ns : 0;
+      Acc& a = acc[{f.e.kind, f.e.depth}];
+      ++a.calls;
+      a.total += dur;
+      a.self += self;
+      a.m_sum += f.e.m;
+      if (self > 0) folded[path] += self;
+      if (stack.empty()) th.busy_ns += dur;  // root-level span
+      path.resize(f.path_len);
+    };
+
+    for (const TraceEvent& e : ev) {
+      min_t0 = std::min(min_t0, e.t0_ns);
+      max_t1 = std::max(max_t1, e.t1_ns);
+      while (!stack.empty() && !contains(stack.back().e, e)) {
+        OpenFrame f = stack.back();
+        stack.pop_back();
+        finalize(f);
+      }
+      if (!stack.empty())
+        stack.back().children_ns += e.t1_ns - e.t0_ns;
+      OpenFrame f;
+      f.e = e;
+      f.path_len = path.size();
+      std::snprintf(frame, sizeof frame, ";%c m=%llu", e.kind,
+                    static_cast<unsigned long long>(e.m));
+      path += frame;
+      stack.push_back(f);
+    }
+    while (!stack.empty()) {
+      OpenFrame f = stack.back();
+      stack.pop_back();
+      finalize(f);
+    }
+
+    p.attributed_ns_ += th.busy_ns;
+    p.threads_.push_back(th);
+  }
+
+  p.wall_ns_ = max_t1 > min_t0 ? max_t1 - min_t0 : 0;
+  for (ThreadProfile& th : p.threads_)
+    th.busy_fraction =
+        p.wall_ns_ > 0
+            ? static_cast<double>(th.busy_ns) / static_cast<double>(p.wall_ns_)
+            : 0.0;
+
+  p.entries_.reserve(acc.size());
+  for (const auto& [k, a] : acc) {
+    ProfileEntry e;
+    e.kind = k.kind;
+    e.depth = k.depth;
+    e.calls = a.calls;
+    e.total_ns = a.total;
+    e.self_ns = a.self;
+    e.mean_m = a.calls > 0
+                   ? static_cast<double>(a.m_sum) / static_cast<double>(a.calls)
+                   : 0.0;
+    p.entries_.push_back(e);
+  }
+
+  p.folded_.assign(folded.begin(), folded.end());
+  return p;
+}
+
+Profile Profile::collect() {
+  Profile p = from_traces(Tracer::snapshot());
+  p.roofline_ = LeafSampler::snapshot();
+  return p;
+}
+
+double Profile::coverage() const {
+  if (wall_ns_ == 0 || threads_.empty()) return 0.0;
+  return static_cast<double>(attributed_ns_) /
+         (static_cast<double>(wall_ns_) *
+          static_cast<double>(threads_.size()));
+}
+
+double Profile::imbalance() const {
+  if (threads_.empty()) return 1.0;
+  std::uint64_t max_busy = 0, sum_busy = 0;
+  for (const ThreadProfile& t : threads_) {
+    max_busy = std::max(max_busy, t.busy_ns);
+    sum_busy += t.busy_ns;
+  }
+  const double mean =
+      static_cast<double>(sum_busy) / static_cast<double>(threads_.size());
+  return mean > 0 ? static_cast<double>(max_busy) / mean : 1.0;
+}
+
+void Profile::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("wall_ns", wall_ns_);
+  w.kv("attributed_ns", attributed_ns_);
+  w.kv("coverage", coverage());
+  w.kv("imbalance", imbalance());
+  w.kv("dropped", dropped_);
+  w.key("entries");
+  w.begin_array();
+  for (const ProfileEntry& e : entries_) {
+    w.begin_object();
+    char k[2] = {e.kind, 0};
+    w.kv("kind", k);
+    w.kv("depth", e.depth);
+    w.kv("calls", e.calls);
+    w.kv("total_ns", e.total_ns);
+    w.kv("self_ns", e.self_ns);
+    w.kv("mean_m", e.mean_m);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("threads");
+  w.begin_array();
+  for (const ThreadProfile& t : threads_) {
+    w.begin_object();
+    w.kv("tid", t.tid);
+    w.kv("busy_ns", t.busy_ns);
+    w.kv("busy_fraction", t.busy_fraction);
+    w.end_object();
+  }
+  w.end_array();
+  if (!roofline_.empty()) {
+    w.key("roofline");
+    w.begin_array();
+    for (const RooflinePoint& r : roofline_) {
+      w.begin_object();
+      char k[2] = {r.kind, 0};
+      w.kv("kind", k);
+      w.kv("samples", r.samples);
+      w.kv("flops", r.flops);
+      if (r.has_cycles) w.kv("cycles", r.cycles);
+      if (r.has_instructions) w.kv("instructions", r.instructions);
+      if (r.has_l1d) w.kv("l1d_misses", r.l1d_misses);
+      if (r.has_llc) w.kv("llc_misses", r.llc_misses);
+      // Arithmetic intensity against LLC traffic, assuming 64 B lines
+      // (universal on the x86-64 hosts this targets).
+      if (r.has_llc && r.llc_misses > 0)
+        w.kv("flops_per_llc_byte",
+             static_cast<double>(r.flops) /
+                 (64.0 * static_cast<double>(r.llc_misses)));
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+std::string Profile::json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  write_json(w);
+  return os.str();
+}
+
+std::string Profile::folded(const std::string& prefix) const {
+  std::string out;
+  for (const auto& [path, ns] : folded_) {
+    if (!prefix.empty()) {
+      out += prefix;
+      out += ';';
+    }
+    out += path;
+    out += ' ';
+    out += std::to_string(ns);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace on
+}  // namespace gep::obs
+
+#endif  // GEP_OBS

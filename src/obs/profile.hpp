@@ -1,0 +1,233 @@
+// Performance-attribution profiles over the recursion tracer.
+//
+// The tracer (obs/trace.hpp) records raw {kind, depth, box, t0, t1}
+// spans; this module is the aggregation pass that turns a buffer of
+// spans into engineering signal:
+//
+//   * per-(kind, depth) entries: call count, inclusive (total) and
+//     exclusive (self) nanoseconds, mean box side m — "where did the
+//     traced wall time go, by recursion family and level";
+//   * per-thread busy time / busy fraction and an overall imbalance
+//     factor (max busy / mean busy across threads that ran spans);
+//   * flamegraph-compatible folded stacks ("frame;frame;frame self_ns"
+//     lines, one frame per enclosing span, suitable for flamegraph.pl
+//     or speedscope);
+//   * optional roofline points per kind from the sampled-leaf hardware
+//     counter attribution (LeafSampler below): FLOPs executed vs L1d /
+//     LLC miss bytes for the sampled leaves of each recursion family.
+//
+// Everything degrades the usual way under GEP_OBS=0: Profile::collect()
+// returns an empty profile whose JSON form is still valid (the bench
+// manifest stays well-formed), and the sampler is an empty stub.
+#pragma once
+
+#ifndef GEP_OBS
+#define GEP_OBS 1
+#endif
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace gep::obs {
+
+// One (kind, depth) row of a profile (same shape in both builds).
+struct ProfileEntry {
+  char kind = '?';
+  int depth = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;  // inclusive: sum of span durations
+  std::uint64_t self_ns = 0;   // exclusive: minus enclosed child spans
+  double mean_m = 0.0;         // mean box side of the spans
+};
+
+// Per-thread activity during the traced window.
+struct ThreadProfile {
+  int tid = 0;
+  std::uint64_t busy_ns = 0;   // sum of root-level span durations
+  double busy_fraction = 0.0;  // busy_ns / traced wall duration
+};
+
+// Sampled-leaf hardware attribution for one recursion family: the
+// coordinates of a roofline point (arithmetic intensity = flops /
+// llc_miss_bytes) for the leaves of that kind.
+struct RooflinePoint {
+  char kind = '?';
+  std::uint64_t samples = 0;        // leaves actually bracketed
+  std::uint64_t flops = 0;          // 2·m³ per sampled leaf
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t llc_misses = 0;
+  bool has_cycles = false, has_instructions = false;
+  bool has_l1d = false, has_llc = false;
+};
+
+#if GEP_OBS
+
+inline namespace on {
+
+class Profile {
+ public:
+  // Aggregates the tracer's current buffers (Tracer::snapshot()) plus
+  // the LeafSampler's accumulated roofline points. Call with the tracer
+  // stopped for a consistent cut.
+  static Profile collect();
+
+  // Aggregates an explicit set of buffers (unit tests feed synthetic
+  // events through this).
+  static Profile from_traces(const std::vector<ThreadTrace>& traces);
+
+  const std::vector<ProfileEntry>& entries() const { return entries_; }
+  const std::vector<ThreadProfile>& threads() const { return threads_; }
+  const std::vector<RooflinePoint>& roofline() const { return roofline_; }
+
+  // Traced window: [min t0, max t1] over every span.
+  std::uint64_t wall_ns() const { return wall_ns_; }
+  // Time inside root-level spans, summed over threads.
+  std::uint64_t attributed_ns() const { return attributed_ns_; }
+  // attributed / (wall · active threads): 1.0 = every traced nanosecond
+  // of every active thread is accounted to some (kind, depth).
+  double coverage() const;
+  // max busy / mean busy across threads with spans (1.0 = balanced).
+  double imbalance() const;
+
+  std::uint64_t dropped() const { return dropped_; }
+  bool empty() const { return entries_.empty(); }
+
+  // Serializes the profile as one JSON value on `w` (object form used
+  // inside BENCH_*.json runs).
+  void write_json(JsonWriter& w) const;
+  std::string json() const;
+
+  // Folded flamegraph stacks, one line per distinct span path:
+  //   [prefix;]t<tid>;A m=1024;B m=512;... <self_ns>
+  // Frame order is root → leaf; counts are exclusive nanoseconds.
+  std::string folded(const std::string& prefix = "") const;
+
+ private:
+  std::vector<ProfileEntry> entries_;
+  std::vector<ThreadProfile> threads_;
+  std::vector<RooflinePoint> roofline_;
+  std::vector<std::pair<std::string, std::uint64_t>> folded_;  // path → ns
+  std::uint64_t wall_ns_ = 0;
+  std::uint64_t attributed_ns_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// Samples hardware counters on every Nth typed-recursion leaf (per
+// thread) and accumulates the readings per BoxKind. Sampling rather
+// than bracketing every leaf bounds the perturbation: an N of 32 means
+// one counter start/stop ioctl pair per 32 leaves. Enabled either
+// programmatically or via $GEP_OBS_PROFILE_SAMPLE=<N> (0/unset = off).
+class LeafSampler {
+ public:
+  static void enable(std::uint32_t every_n);  // 0 disables
+  static void disable() { enable(0); }
+  static bool enabled();
+  static std::uint32_t period();
+
+  // Reads $GEP_OBS_PROFILE_SAMPLE once and enables the sampler when it
+  // names a positive period. The bench reporter calls this.
+  static void enable_from_env();
+
+  // Accumulated per-kind roofline points (kinds with zero samples are
+  // omitted), and the reset the bench reporter uses between runs.
+  static std::vector<RooflinePoint> snapshot();
+  static void reset();
+
+ private:
+  friend class ScopedLeafSample;
+  static void accumulate(char kind, std::uint64_t m, bool counted);
+};
+
+// RAII bracket placed around the typed engine's leaf-kernel call. Cheap
+// when the sampler is off (one relaxed atomic load); on the sampled
+// leaves it starts/stops a thread-local HwCounters set.
+class ScopedLeafSample {
+ public:
+  ScopedLeafSample(char kind, long long m);
+  ~ScopedLeafSample();
+  ScopedLeafSample(const ScopedLeafSample&) = delete;
+  ScopedLeafSample& operator=(const ScopedLeafSample&) = delete;
+
+ private:
+  char kind_ = 0;
+  bool on_ = false;
+  std::uint64_t m_ = 0;
+};
+
+}  // namespace on
+
+#else  // GEP_OBS == 0
+
+inline namespace off {
+
+class Profile {
+ public:
+  static Profile collect() { return {}; }
+  static Profile from_traces(const std::vector<ThreadTrace>&) { return {}; }
+
+  const std::vector<ProfileEntry>& entries() const { return entries_; }
+  const std::vector<ThreadProfile>& threads() const { return threads_; }
+  const std::vector<RooflinePoint>& roofline() const { return roofline_; }
+  std::uint64_t wall_ns() const { return 0; }
+  std::uint64_t attributed_ns() const { return 0; }
+  double coverage() const { return 0.0; }
+  double imbalance() const { return 1.0; }
+  std::uint64_t dropped() const { return 0; }
+  bool empty() const { return true; }
+
+  // Still emits a valid (empty) JSON object so GEP_OBS=0 bench reports
+  // and manifests keep their schema.
+  void write_json(JsonWriter& w) const {
+    w.begin_object();
+    w.kv("wall_ns", std::uint64_t{0});
+    w.kv("attributed_ns", std::uint64_t{0});
+    w.kv("coverage", 0.0);
+    w.kv("imbalance", 1.0);
+    w.kv("dropped", std::uint64_t{0});
+    w.key("entries");
+    w.begin_array();
+    w.end_array();
+    w.key("threads");
+    w.begin_array();
+    w.end_array();
+    w.end_object();
+  }
+  std::string json() const {
+    return "{\"wall_ns\":0,\"attributed_ns\":0,\"coverage\":0,"
+           "\"imbalance\":1,\"dropped\":0,\"entries\":[],\"threads\":[]}";
+  }
+  std::string folded(const std::string& = "") const { return {}; }
+
+ private:
+  std::vector<ProfileEntry> entries_;
+  std::vector<ThreadProfile> threads_;
+  std::vector<RooflinePoint> roofline_;
+};
+
+class LeafSampler {
+ public:
+  static void enable(std::uint32_t) {}
+  static void disable() {}
+  static bool enabled() { return false; }
+  static std::uint32_t period() { return 0; }
+  static void enable_from_env() {}
+  static std::vector<RooflinePoint> snapshot() { return {}; }
+  static void reset() {}
+};
+
+class ScopedLeafSample {
+ public:
+  ScopedLeafSample(char, long long) {}
+};
+
+}  // namespace off
+
+#endif  // GEP_OBS
+
+}  // namespace gep::obs

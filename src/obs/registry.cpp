@@ -139,6 +139,11 @@ std::string snapshot_json() {
     w.key(s.name);
     w.begin_object();
     w.kv("count", s.count);
+    // Percentile summaries estimated from the log2 buckets (upper bound
+    // of the covering bucket — see hist_percentile()).
+    w.kv("p50", hist_percentile(s.buckets, 0.50));
+    w.kv("p95", hist_percentile(s.buckets, 0.95));
+    w.kv("max", hist_max(s.buckets));
     // Nonzero buckets only, as [bucket_index, count] pairs.
     w.key("buckets");
     w.begin_array();

@@ -41,6 +41,40 @@ struct MetricSample {
   std::vector<std::uint64_t> buckets;     // histogram: log2 buckets
 };
 
+// Percentile estimate from log2 buckets: the upper bound of the bucket
+// holding the q-quantile observation (bucket 0 = {0}; bucket b >= 1 =
+// [2^(b-1), 2^b), so the estimate is 2^b - 1). Returns 0 for an empty
+// histogram. Shared by snapshot_json() and the bench reports' p50/p95
+// summaries.
+inline std::uint64_t hist_percentile(const std::vector<std::uint64_t>& buckets,
+                                     double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target && buckets[i] > 0) {
+      if (i == 0) return 0;
+      if (i >= 64) return ~std::uint64_t{0};
+      return (std::uint64_t{1} << i) - 1;
+    }
+  }
+  return 0;
+}
+
+// Upper bound of the highest populated bucket (the "max" summary).
+inline std::uint64_t hist_max(const std::vector<std::uint64_t>& buckets) {
+  for (std::size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i] == 0) continue;
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+  return 0;
+}
+
 #if GEP_OBS
 
 inline namespace on {

@@ -94,6 +94,22 @@ std::uint64_t Tracer::dropped_count() {
   return n;
 }
 
+std::vector<ThreadTrace> Tracer::snapshot() {
+  Buffers& g = buffers();
+  std::lock_guard<std::mutex> lock(g.mu);
+  std::vector<ThreadTrace> out;
+  out.reserve(g.all.size());
+  for (const auto& b : g.all) {
+    if (b->events.empty() && b->dropped == 0) continue;
+    ThreadTrace t;
+    t.tid = b->tid;
+    t.dropped = b->dropped;
+    t.events = b->events;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
 void Tracer::record(const TraceEvent& e) {
   ThreadBuf& b = this_thread_buf();
   if (b.events.size() >= kMaxEventsPerThread) {

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #if GEP_OBS
 #include <atomic>
@@ -45,6 +46,13 @@ struct TraceEvent {
   char kind = '?';  // 'A' / 'B' / 'C' / 'D' (typed recursion), free-form
 };
 
+// Copy of one thread's recorded spans (Tracer::snapshot()).
+struct ThreadTrace {
+  int tid = 0;
+  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> events;
+};
+
 class Tracer {
  public:
   static bool active() {
@@ -55,6 +63,11 @@ class Tracer {
   static void clear();  // drops all recorded events
   static std::size_t event_count();
   static std::uint64_t dropped_count();
+
+  // Copies every thread's buffer out under the registry lock — the input
+  // of the profile aggregation pass (obs/profile.hpp). Call while
+  // stopped (a racing record() on a live thread may or may not be seen).
+  static std::vector<ThreadTrace> snapshot();
 
   // Appends to the calling thread's buffer (capped; overflow is counted,
   // not stored). Only meaningful while active.
@@ -116,6 +129,12 @@ inline namespace off {
 
 struct TraceEvent {};
 
+struct ThreadTrace {
+  int tid = 0;
+  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> events;
+};
+
 class Tracer {
  public:
   static bool active() { return false; }
@@ -124,6 +143,7 @@ class Tracer {
   static void clear() {}
   static std::size_t event_count() { return 0; }
   static std::uint64_t dropped_count() { return 0; }
+  static std::vector<ThreadTrace> snapshot() { return {}; }
   static void record(const TraceEvent&) {}
   static bool write_chrome_trace(const std::string&) { return false; }
   static const char* env_path() { return nullptr; }

@@ -62,6 +62,41 @@ TEST(JsonWriter, RawSplicesVerbatim) {
   EXPECT_EQ(os.str(), "{\"m\":{\"k\":7}}");
 }
 
+TEST(JsonWriter, ControlCharsEscaped) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.value(std::string("\x01\x1f\x7f"));
+  // 0x01 and 0x1f must become \u00XX escapes; 0x7f is legal raw JSON.
+  EXPECT_EQ(os.str(), "\"\\u0001\\u001f\x7f\"");
+}
+
+TEST(JsonWriter, Utf8PassesThrough) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.value(std::string("caf\xc3\xa9 \xe2\x86\x92 \xf0\x9f\x98\x80"));
+  EXPECT_EQ(os.str(), "\"caf\xc3\xa9 \xe2\x86\x92 \xf0\x9f\x98\x80\"");
+}
+
+TEST(JsonWriter, DeepNestingBalances) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  constexpr int kDepth = 100;
+  for (int i = 0; i < kDepth; ++i) {
+    w.begin_object();
+    w.key("k");
+  }
+  w.value(1);
+  for (int i = 0; i < kDepth; ++i) w.end_object();
+  const std::string s = os.str();
+  std::size_t opens = 0, closes = 0;
+  for (char ch : s) {
+    if (ch == '{') ++opens;
+    if (ch == '}') ++closes;
+  }
+  EXPECT_EQ(opens, static_cast<std::size_t>(kDepth));
+  EXPECT_EQ(closes, static_cast<std::size_t>(kDepth));
+}
+
 #if GEP_OBS
 
 // --- Registry -------------------------------------------------------------
@@ -197,6 +232,37 @@ TEST(Registry, GlobalSnapshotJsonIsWellFormed) {
   EXPECT_EQ(depth, 0);
 }
 
+// --- Histogram percentile estimation --------------------------------------
+
+TEST(Registry, HistPercentileUpperBounds) {
+  // 64 log2 buckets; bucket 0 = {0}, bucket b = [2^(b-1), 2^b). The
+  // estimate is the upper bound of the bucket covering the quantile.
+  std::vector<std::uint64_t> buckets(obs::kHistBuckets, 0);
+  EXPECT_EQ(obs::hist_percentile(buckets, 0.5), 0u);  // empty
+  EXPECT_EQ(obs::hist_max(buckets), 0u);
+  buckets[0] = 10;  // ten zeros
+  EXPECT_EQ(obs::hist_percentile(buckets, 0.5), 0u);
+  buckets[4] = 10;  // ten values in [8, 16)
+  // 20 samples: p50 lands on the 10th = last zero, p95 on the 19th.
+  EXPECT_EQ(obs::hist_percentile(buckets, 0.5), 0u);
+  EXPECT_EQ(obs::hist_percentile(buckets, 0.95), 15u);  // 2^4 - 1
+  EXPECT_EQ(obs::hist_max(buckets), 15u);
+  buckets[10] = 1;  // one value in [512, 1024)
+  EXPECT_EQ(obs::hist_max(buckets), 1023u);
+  EXPECT_EQ(obs::hist_percentile(buckets, 1.0), 1023u);
+}
+
+TEST(Registry, SnapshotJsonHasHistogramPercentiles) {
+  obs::histogram("pctl.check.hist").observe(100);
+  obs::histogram("pctl.check.hist").observe(3);
+  const std::string js = obs::snapshot_json();
+  const std::size_t at = js.find("\"pctl.check.hist\"");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(js.find("\"p50\"", at), std::string::npos);
+  EXPECT_NE(js.find("\"p95\"", at), std::string::npos);
+  EXPECT_NE(js.find("\"max\"", at), std::string::npos);
+}
+
 // --- Hardware counters ----------------------------------------------------
 
 TEST(HwCounters, SampleOrSkip) {
@@ -235,6 +301,30 @@ TEST(Tracer, SpansRecordedOnlyWhileActive) {
   EXPECT_EQ(obs::Tracer::event_count(), 2u);
   obs::Tracer::clear();
   EXPECT_EQ(obs::Tracer::event_count(), 0u);
+}
+
+TEST(Tracer, OverflowCountsDroppedSpans) {
+  obs::Tracer::clear();
+  obs::Tracer::start();
+  constexpr std::size_t kCap = 1u << 20;  // trace.cpp per-thread cap
+  obs::TraceEvent e;
+  e.kind = 'A';
+  for (std::size_t i = 0; i < kCap + 3; ++i) {
+    e.t0_ns = i;
+    e.t1_ns = i + 1;
+    obs::Tracer::record(e);
+  }
+  obs::Tracer::stop();
+  EXPECT_EQ(obs::Tracer::event_count(), kCap);
+  EXPECT_EQ(obs::Tracer::dropped_count(), 3u);
+  // The dropped count survives into the profile snapshot path...
+  std::vector<obs::ThreadTrace> snap = obs::Tracer::snapshot();
+  std::uint64_t dropped = 0;
+  for (const obs::ThreadTrace& t : snap) dropped += t.dropped;
+  EXPECT_EQ(dropped, 3u);
+  // ...and clear() resets it.
+  obs::Tracer::clear();
+  EXPECT_EQ(obs::Tracer::dropped_count(), 0u);
 }
 
 TEST(Tracer, ChromeTraceFileIsValidJson) {

@@ -11,9 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <type_traits>
 
+#include "../bench/bench_common.hpp"
 #include "gep/typed.hpp"
 #include "layout/zblocked.hpp"
 #include "matrix/matrix.hpp"
@@ -29,6 +32,8 @@ static_assert(!obs::kEnabled, "GEP_OBS=0 must disable the obs layer");
 // nothing for it.
 static_assert(std::is_empty_v<obs::ScopedSpan>,
               "disabled ScopedSpan must be stateless");
+static_assert(std::is_empty_v<obs::ScopedLeafSample>,
+              "disabled ScopedLeafSample must be stateless");
 
 TEST(ObsOff, HandlesAreInertNoOps) {
   obs::Counter c = obs::counter("off.c");
@@ -75,6 +80,59 @@ TEST(ObsOff, JsonWriterStillWorks) {
   w.kv("k", 1);
   w.end_object();
   EXPECT_EQ(os.str(), "{\"k\":1}");
+}
+
+TEST(ObsOff, ProfileIsEmptyButJsonStaysValid) {
+  obs::Profile p = obs::Profile::collect();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.wall_ns(), 0u);
+  EXPECT_EQ(p.coverage(), 0.0);
+  EXPECT_EQ(p.imbalance(), 1.0);
+  EXPECT_EQ(p.folded(), "");
+  // The JSON form still parses with the full schema skeleton, so a
+  // GEP_OBS=0 bench report keeps its shape in the manifest.
+  obs::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(obs::JsonValue::parse(p.json(), &v, &err)) << err;
+  EXPECT_EQ(v["entries"].size(), 0u);
+  EXPECT_EQ(v["dropped"].as_int(), 0);
+}
+
+TEST(ObsOff, LeafSamplerInert) {
+  obs::LeafSampler::enable(1);
+  EXPECT_FALSE(obs::LeafSampler::enabled());
+  EXPECT_EQ(obs::LeafSampler::period(), 0u);
+  { obs::ScopedLeafSample s('A', 64); }
+  EXPECT_TRUE(obs::LeafSampler::snapshot().empty());
+  obs::LeafSampler::reset();
+}
+
+// A GEP_OBS=0 bench report must still be a valid manifest input: full
+// run rows, empty metrics sections, no profile/trace keys.
+TEST(ObsOff, BenchReportStillWritesValidJson) {
+  {
+    bench::BenchReport rep("tmp_obs_off", 1.0);
+    rep.timed("probe", 32, 1e3, [] {
+      volatile double x = 1.0;
+      for (int i = 0; i < 1000; ++i) x = x * 1.0000001;
+    });
+    ASSERT_TRUE(rep.write());
+  }
+  std::ifstream in("BENCH_tmp_obs_off.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  obs::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(obs::JsonValue::parse(buf.str(), &v, &err)) << err;
+  EXPECT_FALSE(v["gep_obs"].as_bool());
+  EXPECT_EQ(v["schema_version"].as_int(), bench::kBenchSchemaVersion);
+  ASSERT_EQ(v["runs"].size(), 1u);
+  EXPECT_GT(v["runs"][0]["seconds"].as_double(), 0.0);
+  EXPECT_FALSE(v["runs"][0].has("profile"));
+  EXPECT_EQ(v["trace_dropped"].as_int(), 0);
+  EXPECT_TRUE(v["metrics"]["counters"].is_object());
+  std::remove("BENCH_tmp_obs_off.json");
 }
 
 // The typed I-GEP engine instantiated from this GEP_OBS=0 TU (spans and

@@ -1,0 +1,165 @@
+// Merges per-bench BENCH_*.json reports into one schema-versioned
+// BENCH_manifest.json: host identity, git SHA, SIMD dispatch level, and
+// every report embedded verbatim under "benches". The manifest is the
+// unit the regression gate (gep_bench_diff) compares — one file per
+// commit/run instead of a loose pile of per-figure reports.
+//
+// Usage:
+//   gep_bench_manifest [-o OUT] [--git-sha SHA] [FILE...]
+//
+// With no FILE arguments, every BENCH_*.json in the current directory
+// (except BENCH_manifest.json itself) is merged. The git SHA comes from
+// --git-sha, then $GEP_GIT_SHA, then $GITHUB_SHA, then `git rev-parse
+// HEAD`, then "unknown".
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/json_read.hpp"
+#include "simd/dispatch.hpp"
+#include "util/cpuinfo.hpp"
+
+namespace {
+
+// Matches bench::kBenchSchemaVersion (bench/bench_common.hpp); the
+// tools only depend on src/.
+constexpr int kSchemaVersion = 2;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string git_sha(const char* arg) {
+  if (arg != nullptr && *arg != 0) return arg;
+  if (const char* s = std::getenv("GEP_GIT_SHA"); s != nullptr && *s != 0)
+    return s;
+  if (const char* s = std::getenv("GITHUB_SHA"); s != nullptr && *s != 0)
+    return s;
+  if (FILE* p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128] = {0};
+    const bool got = fgets(buf, sizeof buf, p) != nullptr;
+    const int rc = pclose(p);
+    if (got && rc == 0) {
+      std::string s(buf);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+        s.pop_back();
+      if (!s.empty()) return s;
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_manifest.json";
+  const char* sha_arg = nullptr;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--git-sha" && i + 1 < argc) {
+      sha_arg = argv[++i];
+    } else if (a == "-h" || a == "--help") {
+      std::printf("usage: %s [-o OUT] [--git-sha SHA] [FILE...]\n", argv[0]);
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+
+  if (files.empty()) {
+    for (const auto& e : std::filesystem::directory_iterator(".")) {
+      if (!e.is_regular_file()) continue;
+      const std::string name = e.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+          name.substr(name.size() - 5) == ".json" &&
+          name != "BENCH_manifest.json" &&
+          e.path().filename() !=
+              std::filesystem::path(out_path).filename())
+        files.push_back(e.path().string());
+    }
+    std::sort(files.begin(), files.end());
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "no BENCH_*.json reports found\n");
+    return 2;
+  }
+
+  // name -> verbatim report text (validated, so raw splicing is safe).
+  std::vector<std::pair<std::string, std::string>> reports;
+  for (const std::string& f : files) {
+    const std::string text = read_file(f);
+    if (text.empty()) {
+      std::fprintf(stderr, "cannot read %s\n", f.c_str());
+      return 2;
+    }
+    gep::obs::JsonValue v;
+    std::string err;
+    if (!gep::obs::JsonValue::parse(text, &v, &err)) {
+      std::fprintf(stderr, "%s: %s\n", f.c_str(), err.c_str());
+      return 2;
+    }
+    std::string name = v["bench"].as_string();
+    if (name.empty())
+      name = std::filesystem::path(f).stem().string();
+    std::string body = text;
+    while (!body.empty() &&
+           (body.back() == '\n' || body.back() == '\r' || body.back() == ' '))
+      body.pop_back();
+    reports.emplace_back(std::move(name), std::move(body));
+  }
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  gep::obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("kind", "gep-bench-manifest");
+  w.kv("schema_version", kSchemaVersion);
+  w.kv("unix_time", static_cast<std::int64_t>(std::time(nullptr)));
+  w.kv("git_sha", git_sha(sha_arg));
+  w.kv("dispatch_level", gep::simd::active_name());
+  gep::CpuInfo info = gep::query_cpu_info();
+  w.key("host");
+  w.begin_object();
+  w.kv("model", info.model_name);
+  w.kv("logical_cpus", info.logical_cpus);
+  w.kv("summary", info.summary());
+  w.end_object();
+  w.key("benches");
+  w.begin_object();
+  for (const auto& [name, body] : reports) {
+    w.key(name);
+    w.raw(body);
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+  if (!os) {
+    std::fprintf(stderr, "write failed: %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("manifest: %s (%zu report(s))\n", out_path.c_str(),
+              reports.size());
+  return 0;
+}
