@@ -77,7 +77,16 @@ double time_ooc(const Matrix<double>& init, index_t base,
   m.load(init);
   cache.reset_stats();
   WallTimer t;
-  ooc_igep_lu(m);
+  try {
+    ooc_igep_lu(m);
+  } catch (const obs::JobCancelled&) {
+    // SIGINT/SIGTERM mid-leg: flush write-behind so the backing file is
+    // consistent, leave a flight dump, and exit with the SIGINT code.
+    std::fprintf(stderr, "\n[fig10] cancelled by signal; flushing\n");
+    cache.flush();
+    obs::flight::dump_default();
+    std::exit(130);
+  }
   double dt = t.seconds();
   *stats_out = cache.stats();
   return dt;
@@ -102,6 +111,7 @@ CacheStats simulate_igep_lu(const Matrix<double>& init, index_t base,
 int main() {
   double peak = bench::print_host_banner(
       "Figure 10: Gaussian elimination w/o pivoting, % of peak");
+  obs::flight::install_job_signal_handlers();
   const bool small = bench::small_run();
   std::vector<index_t> sizes =
       small ? std::vector<index_t>{256, 512}

@@ -106,6 +106,10 @@ int main(int argc, char** argv) {
   }
   const double peak = bench::print_host_banner(
       "Figure 7: out-of-core I/O wait, GEP vs I-GEP vs C-GEP");
+  // Cooperative SIGINT/SIGTERM: the typed legs poll a stop flag at leaf
+  // granularity and unwind through JobCancelled, so an interrupted run
+  // still flushes write-behind and leaves a decodable flight dump.
+  obs::flight::install_job_signal_handlers();
   const bool small = bench::small_run();
   const index_t n = small ? 128 : 512;
   // Base 8: C-GEP touches five matrices per box, so the recursion must
@@ -218,15 +222,42 @@ int main(int argc, char** argv) {
       m.load(init);
       cache.reset_stats();
       if (prefetch) cache.enable_async_io();
-      const double dt = report.timed(label, n, bench::flops_fw(n), [&] {
-        if (parallel) {
-          WorkStealingPool pool(threads);
-          WsParInvoker inv{&pool};
-          ooc_igep_floyd_warshall(m, inv, {.prefetch = prefetch});
-        } else {
-          ooc_igep_floyd_warshall(m);
-        }
-      });
+      // Progress/ETA from the typed engine's own work counters: timed()
+      // runs $GEP_BENCH_REPEATS passes (plus one warmup when > 1), each
+      // a full n^3 FW cube. $GEP_PROGRESS_SEC turns on the live printer.
+      const int reps = bench::bench_repeats();
+      const double passes = reps > 1 ? reps + 1.0 : 1.0;
+      obs::ProgressMeter meter;
+      meter.begin(passes * obs::typed_cube_updates(static_cast<double>(n)),
+                  passes * bench::flops_fw(n));
+      obs::ProgressReporter reporter(
+          &meter, obs::ProgressReporter::env_interval(), label);
+      std::uint64_t io_pass = 0;  // page I/Os of the last timed pass
+      double dt = 0;
+      try {
+        dt = report.timed(label, n, bench::flops_fw(n), [&] {
+          const std::uint64_t io0 = cache.stats().io();
+          if (parallel) {
+            WorkStealingPool pool(threads);
+            WsParInvoker inv{&pool};
+            ooc_igep_floyd_warshall(m, inv, {.prefetch = prefetch});
+          } else {
+            ooc_igep_floyd_warshall(m);
+          }
+          io_pass = cache.stats().io() - io0;
+        });
+      } catch (const obs::JobCancelled&) {
+        // Clean shutdown: stop the async worker, flush write-behind so
+        // the backing file is consistent, then dump the flight recorder
+        // (with metrics — the process is healthy, just interrupted).
+        std::fprintf(stderr,
+                     "\n[fig7] cancelled by signal; flushing write-behind "
+                     "and dumping flight recorder\n");
+        if (prefetch) cache.disable_async_io();
+        cache.flush();
+        obs::flight::dump_default();
+        std::exit(130);
+      }
       if (prefetch) cache.disable_async_io();
       const PageCacheStats s = cache.stats();
       report.annotate("io_wait_seconds", s.io_wait_seconds);
@@ -235,6 +266,16 @@ int main(int argc, char** argv) {
       report.annotate("prefetch_hits", static_cast<double>(s.prefetch_hits));
       report.annotate("prefetch_hit_rate", s.prefetch_hit_rate());
       report.annotate("threads", parallel ? threads : 1);
+      // I/O-bound accounting: last-pass page transfers against the
+      // Θ(n³/(B√M)) + scan prediction. The ratio's absolute value
+      // calibrates the Θ constant; the gates only check stability.
+      const obs::IoBoundPrediction pred = obs::igep_io_prediction(
+          static_cast<double>(n), static_cast<double>(M),
+          static_cast<double>(B));
+      report.annotate("io_measured", static_cast<double>(io_pass));
+      report.annotate("io_predicted", pred.total());
+      report.annotate("io_ratio", obs::io_bound_ratio(io_pass, pred));
+      report.annotate("progress_final_fraction", meter.sample().fraction);
       if (t_sync > 0) report.annotate("speedup_vs_sync", t_sync / dt);
       if (fault_rate > 0) {
         report.annotate("fault_rate", fault_rate);
@@ -272,6 +313,43 @@ int main(int argc, char** argv) {
     t_sync = leg("typed sync seq", false, false);
     leg("typed parallel", true, false);
     leg("typed parallel+prefetch", true, true);
+    // Second problem size for the I/O-bound accountant: same B, M kept
+    // at n²/2, so measured/predicted should be size-independent (the CI
+    // bench-smoke gate checks the two ratios agree within ±25%).
+    {
+      const index_t n2 = n / 2;
+      const std::uint64_t n2b = static_cast<std::uint64_t>(n2) * n2 * 8;
+      const std::uint64_t M2 = n2b / 2;
+      Matrix<double> init2 = bench::random_dist_matrix(n2, 7);
+      PageCache cache(M2, B, disk, robust);
+      OocTiledMatrix<double> m(cache, n2, n2);
+      m.load(init2);
+      cache.reset_stats();
+      const int reps = bench::bench_repeats();
+      const double passes = reps > 1 ? reps + 1.0 : 1.0;
+      obs::ProgressMeter meter;
+      meter.begin(passes * obs::typed_cube_updates(static_cast<double>(n2)),
+                  passes * bench::flops_fw(n2));
+      std::uint64_t io_pass = 0;
+      try {
+        report.timed("typed sync seq", n2, bench::flops_fw(n2), [&] {
+          const std::uint64_t io0 = cache.stats().io();
+          ooc_igep_floyd_warshall(m);
+          io_pass = cache.stats().io() - io0;
+        });
+      } catch (const obs::JobCancelled&) {
+        cache.flush();
+        obs::flight::dump_default();
+        std::exit(130);
+      }
+      const obs::IoBoundPrediction pred = obs::igep_io_prediction(
+          static_cast<double>(n2), static_cast<double>(M2),
+          static_cast<double>(B));
+      report.annotate("io_measured", static_cast<double>(io_pass));
+      report.annotate("io_predicted", pred.total());
+      report.annotate("io_ratio", obs::io_bound_ratio(io_pass, pred));
+      report.annotate("progress_final_fraction", meter.sample().fraction);
+    }
     std::printf("typed out-of-core FW (M = n^2/2, B = %llu KB, %d threads):\n",
                 static_cast<unsigned long long>(B / 1024), threads);
     td.print(std::cout);

@@ -68,6 +68,9 @@ void ooc_igep_floyd_warshall(OocTiledMatrix<T>& m, Inv& inv,
   const index_t n = m.rows();
   const index_t bs = m.tile_side();
   auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm, BoxKind) {
+    // Cooperative SIGINT/SIGTERM: unwind before pinning so the bench can
+    // flush write-behind instead of dying mid-update.
+    obs::throw_if_stop_requested();
     auto x = m.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
     auto u = m.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
     auto v = m.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
@@ -98,6 +101,7 @@ void ooc_igep_lu(OocTiledMatrix<T>& m, Inv& inv, OocTypedOptions opts = {}) {
   const index_t bs = m.tile_side();
   auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm,
                   BoxKind kind) {
+    obs::throw_if_stop_requested();
     auto x = m.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
     auto u = m.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
     auto v = m.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
@@ -143,6 +147,7 @@ void ooc_igep_matmul(OocTiledMatrix<T>& c, OocTiledMatrix<T>& a,
     throw std::invalid_argument("ooc matmul: shapes/tiles must match");
   }
   auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm) {
+    obs::throw_if_stop_requested();
     auto x = c.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
     auto u = a.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
     auto v = b.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);

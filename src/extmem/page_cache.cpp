@@ -6,10 +6,18 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
+#include "obs/watchdog.hpp"
 
 namespace gep {
 namespace {
+
+// Flight-recorder shorthand for page-traffic events ((file, page) packed
+// into the payload). Compiles away at GEP_OBS=0.
+inline void rec_page(obs::flightfmt::Ev e, int file, std::uint64_t page) {
+  obs::flight::record(e, obs::flightfmt::pack_page(file, page));
+}
 
 // Process-wide mirrors: every PageCache instance publishes into the same
 // registry counters (the bench reporter snapshots them by name).
@@ -273,6 +281,7 @@ std::size_t PageCache::resident_frame(std::unique_lock<std::mutex>& lock,
     }
     st.page_outs.fetch_add(1, std::memory_order_relaxed);
     page_cache_obs().writebacks.inc();
+    rec_page(obs::flightfmt::kPageOut, key_file(old_key), key_page(old_key));
     wait += model_.io_seconds(page_bytes_);
   }
   try {
@@ -290,6 +299,7 @@ std::size_t PageCache::resident_frame(std::unique_lock<std::mutex>& lock,
       table_.erase(old_key);
       st.evictions.fetch_add(1, std::memory_order_relaxed);
       page_cache_obs().evictions.inc();
+      rec_page(obs::flightfmt::kEvict, key_file(old_key), key_page(old_key));
     }
     epoch_.fetch_add(1, std::memory_order_release);
     fr.valid = false;
@@ -302,6 +312,7 @@ std::size_t PageCache::resident_frame(std::unique_lock<std::mutex>& lock,
     throw;
   }
   st.page_ins.fetch_add(1, std::memory_order_relaxed);
+  rec_page(obs::flightfmt::kPageIn, file_id, page);
   wait += model_.io_seconds(page_bytes_);
   add_double(st.io_wait, wait);
   if (is_prefetch) add_double(st.io_wait_async, wait);
@@ -311,6 +322,7 @@ std::size_t PageCache::resident_frame(std::unique_lock<std::mutex>& lock,
     table_.erase(old_key);
     st.evictions.fetch_add(1, std::memory_order_relaxed);
     page_cache_obs().evictions.inc();
+    rec_page(obs::flightfmt::kEvict, key_file(old_key), key_page(old_key));
     epoch_.fetch_add(1, std::memory_order_release);
   }
   fr.key = key;
@@ -323,6 +335,7 @@ std::size_t PageCache::resident_frame(std::unique_lock<std::mutex>& lock,
   if (is_prefetch) {
     st.prefetch_completed.fetch_add(1, std::memory_order_relaxed);
     page_cache_obs().prefetch_completed.inc();
+    rec_page(obs::flightfmt::kPrefetchDone, file_id, page);
   }
   io_cv_.notify_all();
   return frame;
@@ -374,6 +387,7 @@ void PageCache::prefetch(int file_id, std::uint64_t page) {
   }
   prefetch_q_.push_back({file_id, page});
   page_cache_obs().queue_depth.set(static_cast<double>(prefetch_q_.size()));
+  rec_page(obs::flightfmt::kPrefetchIssue, file_id, page);
   work_cv_.notify_one();
 }
 
@@ -387,8 +401,11 @@ void PageCache::note_worker_failure() {
 }
 
 void PageCache::io_worker_loop() {
+  obs::flight::set_thread_name("pc-asyncio");
+  const int wd = obs::Watchdog::register_source("pc-asyncio");
   std::unique_lock<std::mutex> lock(mu_);
   while (!worker_stop_) {
+    obs::Watchdog::beat(wd);
     if (!prefetch_q_.empty()) {
       const PrefetchRequest req = prefetch_q_.front();
       prefetch_q_.pop_front();
@@ -426,8 +443,8 @@ void PageCache::io_worker_loop() {
       Frame& fr = frames_[f];
       fr.io_busy = true;
       ++io_in_flight_;
-      BlockStore* file =
-          files_[static_cast<std::size_t>(key_file(fr.key))].get();
+      const int fid = key_file(fr.key);
+      BlockStore* file = files_[static_cast<std::size_t>(fid)].get();
       const std::uint64_t page = key_page(fr.key);
       char* buf = pool_.get() + f * page_bytes_;
       lock.unlock();
@@ -452,6 +469,7 @@ void PageCache::io_worker_loop() {
       const double wait = model_.io_seconds(page_bytes_);
       StatShard& st = stat_cell();
       st.page_outs.fetch_add(1, std::memory_order_relaxed);
+      rec_page(obs::flightfmt::kPageOut, fid, page);
       st.writebacks_async.fetch_add(1, std::memory_order_relaxed);
       page_cache_obs().writebacks.inc();
       page_cache_obs().writebacks_async.inc();
@@ -466,8 +484,10 @@ void PageCache::io_worker_loop() {
       io_cv_.notify_all();
       continue;
     }
+    obs::Watchdog::set_idle(wd);
     work_cv_.wait_for(lock, std::chrono::milliseconds(1));
   }
+  obs::Watchdog::unregister_source(wd);
 }
 
 void PageCache::enable_async_io() {
@@ -523,6 +543,7 @@ void PageCache::flush() {
       }
       st.page_outs.fetch_add(1, std::memory_order_relaxed);
       page_cache_obs().writebacks.inc();
+      rec_page(obs::flightfmt::kPageOut, key_file(fr.key), key_page(fr.key));
       add_double(st.io_wait, model_.io_seconds(page_bytes_));
       fr.dirty = false;
     }

@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 #include "util/crc32c.hpp"
 
@@ -68,6 +69,7 @@ void RobustStore::read_page(std::uint64_t page, void* buf) {
           std::lock_guard<std::mutex> lock(mu_);
           ++stats_.crc_recoveries;
           robust_obs().crc_recoveries.inc();
+          obs::flight::record(obs::flightfmt::kCrcRecover, page);
         }
         return;
       }
@@ -84,6 +86,7 @@ void RobustStore::read_page(std::uint64_t page, void* buf) {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.hard_failures;
         robust_obs().hard_failures.inc();
+        obs::flight::record(obs::flightfmt::kIoHardFail, page);
         throw CorruptPageError(
             page, *want, got,
             "RobustStore: page " + std::to_string(page) +
@@ -98,6 +101,7 @@ void RobustStore::read_page(std::uint64_t page, void* buf) {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.hard_failures;
         robust_obs().hard_failures.inc();
+        obs::flight::record(obs::flightfmt::kIoHardFail, page);
         throw;
       }
     }
@@ -105,6 +109,7 @@ void RobustStore::read_page(std::uint64_t page, void* buf) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.retries;
       robust_obs().retries.inc();
+      obs::flight::record(obs::flightfmt::kIoRetry, page);
     }
     backoff(attempt);
   }
@@ -129,6 +134,7 @@ void RobustStore::write_page(std::uint64_t page, const void* buf) {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.hard_failures;
         robust_obs().hard_failures.inc();
+        obs::flight::record(obs::flightfmt::kIoHardFail, page);
         throw;
       }
     }
@@ -136,6 +142,7 @@ void RobustStore::write_page(std::uint64_t page, const void* buf) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.retries;
       robust_obs().retries.inc();
+      obs::flight::record(obs::flightfmt::kIoRetry, page);
     }
     backoff(attempt);
   }

@@ -33,6 +33,7 @@
 #include <string>
 
 #include "matrix/matrix.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 #include "util/prng.hpp"
 
@@ -161,6 +162,8 @@ class PivotGuard {
     if (std::isfinite(p) && std::abs(p) > tiny_) return *slot;
     breakdowns_.fetch_add(1, std::memory_order_relaxed);
     detail_guard::numeric_obs().breakdowns.inc();
+    obs::flight::record(obs::flightfmt::kGuardTrip,
+                        static_cast<std::uint64_t>(k));
     if (policy_ == BreakdownPolicy::Throw) {
       throw NumericBreakdownError(
           k, p,

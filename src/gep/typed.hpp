@@ -86,6 +86,11 @@ void typed_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
                           : (jk ? BoxKind::C : BoxKind::D);
   // One relaxed atomic load when tracing is off; a recorded span when on.
   obs::ScopedSpan span(box_kind_char(kind), depth, i0, j0, k0, m);
+  // Flight-recorder breadcrumb + stall-watchdog heartbeat: a wedged
+  // worker's dump shows exactly which box it never left.
+  obs::Watchdog::beat_this_thread();
+  obs::FlightRecScope frec(box_kind_char(kind), depth,
+                           static_cast<std::uint64_t>(m));
   if (m <= bs) {
 #if GEP_OBS
     TypedMetrics& tm = typed_metrics();
@@ -171,6 +176,8 @@ void mm_rec(Inv& inv, index_t i0, index_t j0, index_t k0, index_t m,
             index_t bs, const Leaf& leaf, const Hint& hint = {},
             int depth = 0) {
   obs::ScopedSpan span('D', depth, i0, j0, k0, m);
+  obs::Watchdog::beat_this_thread();
+  obs::FlightRecScope frec('D', depth, static_cast<std::uint64_t>(m));
   if (m <= bs) {
 #if GEP_OBS
     static obs::Counter calls = obs::counter("typed.mm.leaf_calls");
@@ -211,6 +218,7 @@ struct TypedOptions {
 template <class Inv, class Store>
 void igep_floyd_warshall(Inv& inv, const Store& st, index_t n,
                          TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-fw");
   using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
   const index_t bs = std::min(opts.base_size, n);
   const index_t s = st.tile_stride();
@@ -229,6 +237,7 @@ void igep_floyd_warshall(Inv& inv, const Store& st, index_t n,
 template <class Inv, class StoreD, class StoreS>
 void igep_floyd_warshall_paths(Inv& inv, const StoreD& dst, const StoreS& sst,
                                index_t n, TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-fw-paths");
   using T = std::remove_reference_t<decltype(dst.tile(0, 0)[0])>;
   using I = std::remove_reference_t<decltype(sst.tile(0, 0)[0])>;
   const index_t bs = std::min(opts.base_size, n);
@@ -250,6 +259,7 @@ void igep_floyd_warshall_paths(Inv& inv, const StoreD& dst, const StoreS& sst,
 template <class Inv, class Store>
 void igep_bottleneck(Inv& inv, const Store& st, index_t n,
                      TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-bottleneck");
   using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
   const index_t bs = std::min(opts.base_size, n);
   const index_t s = st.tile_stride();
@@ -267,6 +277,7 @@ void igep_bottleneck(Inv& inv, const Store& st, index_t n,
 template <class Inv, class Store>
 void igep_transitive_closure(Inv& inv, const Store& st, index_t n,
                              TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-tc");
   using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
   const index_t bs = std::min(opts.base_size, n);
   const index_t s = st.tile_stride();
@@ -284,6 +295,7 @@ void igep_transitive_closure(Inv& inv, const Store& st, index_t n,
 template <class Inv, class Store>
 void igep_gaussian(Inv& inv, const Store& st, index_t n,
                    TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-ge");
   using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
   const index_t bs = std::min(opts.base_size, n);
   const index_t s = st.tile_stride();
@@ -309,6 +321,7 @@ void igep_gaussian(Inv& inv, const Store& st, index_t n,
 // stored in the strictly lower triangle.
 template <class Inv, class Store>
 void igep_lu(Inv& inv, const Store& st, index_t n, TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-lu");
   using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
   const index_t bs = std::min(opts.base_size, n);
   const index_t s = st.tile_stride();
@@ -332,6 +345,7 @@ void igep_lu(Inv& inv, const Store& st, index_t n, TypedOptions opts = {}) {
 template <class Inv, class StoreC, class StoreA, class StoreB>
 void igep_matmul(Inv& inv, const StoreC& cst, const StoreA& ast,
                  const StoreB& bst, index_t n, TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-mm");
   using T = std::remove_reference_t<decltype(cst.tile(0, 0)[0])>;
   const index_t bs = std::min(opts.base_size, n);
   const index_t sc = cst.tile_stride();

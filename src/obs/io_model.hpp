@@ -1,0 +1,52 @@
+// I/O-bound accountant: the paper's predicted block-transfer curve.
+//
+// I-GEP performs Θ(n³/(B√M)) block transfers (Theorem 2.1 / the Fig. 7
+// analysis; Kwasniewski et al. give the matching per-run lower-bound
+// formulation). This header evaluates that curve for a concrete run so
+// the OOC benches can report measured-vs-predicted: the PageCache's
+// page_ins + page_outs divided by the prediction. The ratio's absolute
+// value carries the (unknown) constant of the Θ; what the gate checks
+// is that it is STABLE — across problem sizes in one bench run (CI
+// bench-smoke, ±25%) and across commits (gep_bench_diff, loose).
+//
+// Plain math on both builds — no registry dependency, no on/off split.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace gep::obs {
+
+struct IoBoundPrediction {
+  double cube_transfers = 0.0;  // n^3 / (B_elems * sqrt(M_elems))
+  double scan_transfers = 0.0;  // compulsory n^2-scale traffic
+  double total() const { return cube_transfers + scan_transfers; }
+};
+
+// Predicted block transfers for a typed I-GEP pass over one n x n
+// operand: the recursive term plus the compulsory scan traffic (load
+// every page once, write every dirty page back — 2 n²/B — plus one
+// re-read of the working set on the way out, rounded to 3 n²/B; the
+// constant is absorbed by the ratio's calibration role).
+inline IoBoundPrediction igep_io_prediction(double n, double mem_bytes,
+                                            double block_bytes,
+                                            double elem_bytes = 8.0) {
+  IoBoundPrediction p;
+  if (n <= 0 || mem_bytes <= 0 || block_bytes <= 0 || elem_bytes <= 0) {
+    return p;
+  }
+  const double b_elems = block_bytes / elem_bytes;
+  const double m_elems = mem_bytes / elem_bytes;
+  p.cube_transfers = n * n * n / (b_elems * std::sqrt(m_elems));
+  p.scan_transfers = 3.0 * n * n / b_elems;
+  return p;
+}
+
+// measured / predicted; 0 when the prediction is degenerate.
+inline double io_bound_ratio(std::uint64_t measured_transfers,
+                             const IoBoundPrediction& p) {
+  const double pred = p.total();
+  return pred > 0 ? static_cast<double>(measured_transfers) / pred : 0.0;
+}
+
+}  // namespace gep::obs

@@ -11,15 +11,27 @@
 //                     leaf roofline points
 //   json.hpp        — the streaming JSON writer the exporters share
 //   json_read.hpp   — the matching reader (manifest / diff tooling)
+//   flight_recorder.hpp — always-on per-thread event rings with a
+//                     signal-handler *.gepdump path (tools/gep_events)
+//   watchdog.hpp    — heartbeat sources + stall monitor (counter ->
+//                     stderr -> flight dump escalation)
+//   progress.hpp    — percent-complete / ETA from the typed engine's
+//                     work counters vs the closed-form totals
+//   io_model.hpp    — predicted Θ(n³/(B√M)) block transfers for the
+//                     measured-vs-bound ratio in the OOC benches
 //
 // Compile-time switch: GEP_OBS (default 1; CMake -DGEP_OBS=0 turns every
 // producer into an inline no-op stub — the default hot paths carry no
 // instrumentation code at all). See docs/OBSERVABILITY.md.
 #pragma once
 
+#include "obs/flight_recorder.hpp"
 #include "obs/hw_counters.hpp"
+#include "obs/io_model.hpp"
 #include "obs/json.hpp"
 #include "obs/json_read.hpp"
 #include "obs/profile.hpp"
+#include "obs/progress.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"

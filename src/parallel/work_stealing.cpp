@@ -1,6 +1,10 @@
 #include "parallel/work_stealing.hpp"
 
+#include <cstdio>
 #include <utility>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/watchdog.hpp"
 
 namespace gep {
 namespace {
@@ -133,6 +137,8 @@ bool WorkStealingPool::try_run_one() {
         deques_[static_cast<std::size_t>(me)]->steals.fetch_add(
             1, std::memory_order_relaxed);
         obs_steals().inc();
+        obs::flight::record(obs::flightfmt::kTaskSteal,
+                            obs::flightfmt::pack_steal(me, victim));
       }
     }
   }
@@ -157,9 +163,33 @@ bool WorkStealingPool::try_run_one() {
 void WorkStealingPool::worker_loop(int id) {
   tls_pool = this;
   tls_id = id;
+  char wd_name[24];
+  std::snprintf(wd_name, sizeof wd_name, "ws-worker-%d", id);
+  obs::flight::set_thread_name(wd_name);
+  const int wd = obs::Watchdog::register_source(wd_name);
+  obs::Watchdog::attach_thread(wd);
+  // Park/wake events only on transitions (an idle worker wakes every
+  // millisecond; recording each wake would flood its ring). While
+  // parked the source is idle — the watchdog clock only runs across
+  // task execution, where leaves beat via beat_this_thread().
+  bool parked = false;
   Deque& mine = *deques_[static_cast<std::size_t>(id)];
   while (!stop_.load(std::memory_order_acquire)) {
-    if (!try_run_one()) {
+    if (!parked) obs::Watchdog::beat(wd);
+    if (try_run_one()) {
+      if (parked) {
+        parked = false;
+        obs::flight::record(obs::flightfmt::kTaskWake,
+                            static_cast<std::uint64_t>(id));
+        obs::Watchdog::beat(wd);
+      }
+    } else {
+      if (!parked) {
+        parked = true;
+        obs::flight::record(obs::flightfmt::kTaskPark,
+                            static_cast<std::uint64_t>(id));
+        obs::Watchdog::set_idle(wd);
+      }
       const auto park_start = std::chrono::steady_clock::now();
       {
         std::unique_lock<std::mutex> lock(sleep_mu_);
@@ -180,6 +210,8 @@ void WorkStealingPool::worker_loop(int id) {
       obs_idle_wakes().inc();
     }
   }
+  obs::Watchdog::detach_thread();
+  obs::Watchdog::unregister_source(wd);
   tls_pool = nullptr;
   tls_id = -1;
 }

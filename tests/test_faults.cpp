@@ -23,12 +23,41 @@
 #include "extmem/robust_store.hpp"
 #include "apps/linear_solver.hpp"
 #include "gep/numeric_guard.hpp"
+#include "obs/watchdog.hpp"
 #include "parallel/work_stealing.hpp"
 #include "util/crc32c.hpp"
 #include "util/prng.hpp"
 
 namespace gep {
 namespace {
+
+// The stall watchdog stays armed across the whole fault matrix: the
+// injected transients (default 2ms latency spikes, retry storms, CRC
+// re-reads) must never be mistaken for a stall at a realistic
+// threshold, for ANY seed CI feeds through GEP_FAULT_SEED.
+class ArmedWatchdog : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    baseline_ = obs::Watchdog::stalls_detected();
+    obs::Watchdog::Options o;
+    o.threshold_ms = 2000.0;
+    o.dump_on_stall = false;
+    started_ = obs::Watchdog::start(o);
+  }
+  void TearDown() override {
+    if (!started_) return;  // GEP_OBS=0 or already running elsewhere
+    obs::Watchdog::stop();
+    EXPECT_EQ(obs::Watchdog::stalls_detected(), baseline_)
+        << "injected faults must not trip the stall watchdog";
+  }
+
+ private:
+  std::uint64_t baseline_ = 0;
+  bool started_ = false;
+};
+
+const ::testing::Environment* const kArmedWatchdog =
+    ::testing::AddGlobalTestEnvironment(new ArmedWatchdog);
 
 std::uint64_t env_seed() {
   const char* e = std::getenv("GEP_FAULT_SEED");

@@ -97,6 +97,80 @@ TEST(JsonWriter, DeepNestingBalances) {
   EXPECT_EQ(closes, static_cast<std::size_t>(kDepth));
 }
 
+// --- JsonValue reader error paths (always compiled, both configs) ---------
+
+// Every malformed input must fail cleanly with a positioned error, never
+// crash or accept: the reader feeds the bench-diff gate, which parses
+// files produced by OTHER commits.
+TEST(JsonReader, MalformedInputsAreRejectedWithPosition) {
+  const char* bad[] = {
+      "",                       // empty input
+      "{\"a\": }",              // missing value
+      "{\"a\": 1",              // unterminated object
+      "[1, 2",                  // unterminated array
+      "[1, 2,]",                // trailing comma -> expected value
+      "{\"a\" 1}",              // missing ':'
+      "{a: 1}",                 // unquoted key
+      "\"abc",                  // unterminated string
+      "\"a\\q\"",               // bad escape character
+      "\"a\\u12\"",             // truncated \u escape
+      "\"a\\uZZZZ\"",           // non-hex \u escape
+      "\"\\uD800\"",            // lone high surrogate, end of string
+      "\"\\uD800\\u0041\"",     // high surrogate + non-low-surrogate
+      "truth",                  // bad literal
+      "nul",                    // truncated literal
+      "1.2.3",                  // malformed number
+      "1e999",                  // overflow -> non-finite
+      "\"a\tb\"",               // raw control character in string
+      "{} {}",                  // trailing characters
+  };
+  for (const char* in : bad) {
+    obs::JsonValue v;
+    std::string err;
+    EXPECT_FALSE(obs::JsonValue::parse(in, &v, &err)) << "input: " << in;
+    EXPECT_NE(err.find("at offset"), std::string::npos)
+        << "error must carry a position for input: " << in;
+  }
+}
+
+TEST(JsonReader, NestingDepthIsCapped) {
+  // kMaxDepth = 256: one past must fail, the cap itself must parse.
+  auto nested = [](int depth) {
+    std::string s(static_cast<std::size_t>(depth), '[');
+    s += "1";
+    s.append(static_cast<std::size_t>(depth), ']');
+    return s;
+  };
+  obs::JsonValue v;
+  std::string err;
+  EXPECT_TRUE(obs::JsonValue::parse(nested(200), &v, &err)) << err;
+  EXPECT_FALSE(obs::JsonValue::parse(nested(300), &v, &err));
+  EXPECT_NE(err.find("nesting too deep"), std::string::npos) << err;
+}
+
+TEST(JsonReader, SurrogatePairsDecodeToUtf8) {
+  obs::JsonValue v;
+  std::string err;
+  // U+1F600 as a surrogate pair; expect the 4-byte UTF-8 encoding.
+  ASSERT_TRUE(obs::JsonValue::parse("\"\\uD83D\\uDE00\"", &v, &err)) << err;
+  EXPECT_EQ(v.as_string(), "\xF0\x9F\x98\x80");
+  // BMP escape and a bare low surrogate region value (not paired) both
+  // decode; the latter is passed through as its 3-byte encoding.
+  ASSERT_TRUE(obs::JsonValue::parse("\"\\u00E9\"", &v, &err)) << err;
+  EXPECT_EQ(v.as_string(), "\xC3\xA9");
+}
+
+TEST(JsonReader, LookupChainsThroughMissingKeys) {
+  obs::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(obs::JsonValue::parse("{\"a\": {\"b\": 3}}", &v, &err)) << err;
+  EXPECT_EQ(v["a"]["b"].as_int(), 3);
+  EXPECT_TRUE(v["a"]["missing"]["deeper"].is_null());
+  EXPECT_EQ(v["nope"].as_double(7.5), 7.5);  // null -> caller's default
+  EXPECT_EQ(v["a"]["b"].as_double(), 3.0);
+  EXPECT_EQ(v[std::size_t{0}].type(), obs::JsonValue::Type::Null);
+}
+
 #if GEP_OBS
 
 // --- Registry -------------------------------------------------------------
@@ -250,6 +324,29 @@ TEST(Registry, HistPercentileUpperBounds) {
   buckets[10] = 1;  // one value in [512, 1024)
   EXPECT_EQ(obs::hist_max(buckets), 1023u);
   EXPECT_EQ(obs::hist_percentile(buckets, 1.0), 1023u);
+}
+
+TEST(Registry, HistPercentileEdgeCases) {
+  // Empty histogram: every quantile (and the max) is 0, no division.
+  const std::vector<std::uint64_t> empty(obs::kHistBuckets, 0);
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_EQ(obs::hist_percentile(empty, q), 0u) << "q=" << q;
+  }
+  // A single populated bucket answers EVERY quantile with its upper
+  // bound — the only value the log2 sketch can produce.
+  std::vector<std::uint64_t> single(obs::kHistBuckets, 0);
+  single[7] = 1;  // one observation in [64, 128)
+  for (double q : {0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(obs::hist_percentile(single, q), 127u) << "q=" << q;
+  }
+  EXPECT_EQ(obs::hist_max(single), 127u);
+  // q = 0 targets rank 0: the first populated bucket satisfies it.
+  EXPECT_EQ(obs::hist_percentile(single, 0.0), 127u);
+  // Short vectors (fewer than 64 buckets) are handled positionally.
+  std::vector<std::uint64_t> shorty(3, 0);
+  shorty[2] = 5;
+  EXPECT_EQ(obs::hist_percentile(shorty, 0.5), 3u);
+  EXPECT_EQ(obs::hist_max(shorty), 3u);
 }
 
 TEST(Registry, SnapshotJsonHasHistogramPercentiles) {

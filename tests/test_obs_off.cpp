@@ -34,6 +34,10 @@ static_assert(std::is_empty_v<obs::ScopedSpan>,
               "disabled ScopedSpan must be stateless");
 static_assert(std::is_empty_v<obs::ScopedLeafSample>,
               "disabled ScopedLeafSample must be stateless");
+static_assert(std::is_empty_v<obs::FlightRecScope>,
+              "disabled FlightRecScope must be stateless");
+static_assert(obs::flight::kRingEvents == 0,
+              "disabled flight recorder must not reserve ring space");
 
 TEST(ObsOff, HandlesAreInertNoOps) {
   obs::Counter c = obs::counter("off.c");
@@ -133,6 +137,58 @@ TEST(ObsOff, BenchReportStillWritesValidJson) {
   EXPECT_EQ(v["trace_dropped"].as_int(), 0);
   EXPECT_TRUE(v["metrics"]["counters"].is_object());
   std::remove("BENCH_tmp_obs_off.json");
+}
+
+// The live-telemetry surface degrades to no-ops: recording costs
+// nothing, dumps refuse, cancellation never fires, the watchdog refuses
+// to start, and progress reports zeros with an unknown ETA.
+TEST(ObsOff, FlightRecorderIsInert) {
+  obs::flight::record(obs::flightfmt::kMark, 1);
+  obs::flight::set_thread_name("off-thread");
+  EXPECT_FALSE(obs::flight::dump("should_not_exist.gepdump"));
+  EXPECT_FALSE(obs::flight::dump_default());
+  EXPECT_EQ(obs::flight::now_ns(), 0u);
+  obs::flight::install_crash_handlers();
+  obs::flight::install_job_signal_handlers();
+  obs::flight::request_stop();
+  EXPECT_FALSE(obs::flight::stop_requested()) << "stop flag compiled out";
+  EXPECT_NO_THROW(obs::throw_if_stop_requested());
+  obs::flight::reset_stop();
+  { obs::FlightRecScope s('A', 0, 64); }
+  // The dump format itself stays available for the decoder build.
+  EXPECT_EQ(obs::flightfmt::ev_of(obs::flightfmt::pack(
+                obs::flightfmt::kPageIn, 9)),
+            static_cast<unsigned>(obs::flightfmt::kPageIn));
+}
+
+TEST(ObsOff, WatchdogRefusesToStart) {
+  EXPECT_FALSE(obs::Watchdog::start({}));
+  EXPECT_FALSE(obs::Watchdog::start_from_env());
+  EXPECT_FALSE(obs::Watchdog::running());
+  EXPECT_EQ(obs::Watchdog::stalls_detected(), 0u);
+  EXPECT_EQ(obs::Watchdog::dumps_written(), 0u);
+  EXPECT_EQ(obs::Watchdog::register_source("off"), -1);
+  obs::Watchdog::beat(0);
+  obs::Watchdog::beat_this_thread();
+  EXPECT_EQ(obs::Watchdog::attached_thread(), -1);
+  { obs::WatchdogThreadSource src("off-src"); EXPECT_EQ(src.id(), -1); }
+  obs::Watchdog::stop();
+}
+
+TEST(ObsOff, ProgressMeterReportsZeros) {
+  obs::ProgressMeter m;
+  m.begin(1000.0, 1e9);
+  const obs::ProgressSample s = m.sample();
+  EXPECT_EQ(s.fraction, 0.0);
+  EXPECT_EQ(s.eta_s, -1.0);
+  EXPECT_EQ(s.gflops, 0.0);
+  EXPECT_EQ(s.updates_done, 0.0);
+  { obs::ProgressReporter r(&m, 0.001, "off"); }  // never spawns a thread
+  EXPECT_EQ(obs::ProgressReporter::env_interval(), 0.0);
+  // The I/O model is plain math and stays live in both builds.
+  const obs::IoBoundPrediction p = obs::igep_io_prediction(256, 1 << 20,
+                                                           1 << 12);
+  EXPECT_GT(p.total(), 0.0);
 }
 
 // The typed I-GEP engine instantiated from this GEP_OBS=0 TU (spans and

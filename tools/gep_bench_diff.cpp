@@ -22,6 +22,11 @@
 //     robust.*): gated at --counter-tol, same-host (or --strict) only —
 //     prefetch timing and SIMD availability legitimately differ across
 //     machines.
+//   * io_ratio (measured page transfers / Θ(n³/(B√M)) prediction, from
+//     the OOC benches): gated on ANY host at the loose --io-tol — page
+//     counts are deterministic for a fixed (n, M, B), so a large drift
+//     means the engine's transfer behavior changed. Loose because the
+//     parallel/prefetch legs jitter with scheduling.
 //
 // Everything else (gflops mirrors seconds; hw samples are absent on CI)
 // is informational. Missing benches/labels/counters on either side are
@@ -51,6 +56,7 @@ struct Options {
   double min_seconds = 0.005;  // baseline medians below this: info only
   double work_tol = 0.005;   // deterministic work counters
   double counter_tol = 0.25;  // host-dependent counters
+  double io_tol = 0.5;       // io_ratio (measured/predicted transfers)
   bool strict = false;       // gate host-dependent metrics cross-host
 };
 
@@ -160,13 +166,15 @@ int main(int argc, char** argv) {
       if (!num(&opt.work_tol)) return 2;
     } else if (a == "--counter-tol") {
       if (!num(&opt.counter_tol)) return 2;
+    } else if (a == "--io-tol") {
+      if (!num(&opt.io_tol)) return 2;
     } else if (a == "--strict") {
       opt.strict = true;
     } else if (a == "-h" || a == "--help") {
       std::printf(
           "usage: %s BASELINE.json CURRENT.json [--mads K] [--min-rel R]\n"
-          "       [--min-seconds S] [--work-tol R] [--counter-tol R]"
-          " [--strict]\n",
+          "       [--min-seconds S] [--work-tol R] [--counter-tol R]\n"
+          "       [--io-tol R] [--strict]\n",
           argv[0]);
       return 0;
     } else if (base_path == nullptr) {
@@ -269,6 +277,19 @@ int main(int argc, char** argv) {
         verdict_row(name, metric, bs, cs, rel, "IMPROVED");
       } else {
         verdict_row(name, metric, bs, cs, rel, "ok");
+      }
+
+      // --- I/O-bound ratio (when both sides carry it) --------------------
+      const JsonValue* bio = (*br).find("io_ratio");
+      const JsonValue* cio = cr.find("io_ratio");
+      if (bio != nullptr && cio != nullptr) {
+        const double bv = bio->as_double();
+        const double cv = cio->as_double();
+        if (bv > 0 && cv > 0) {
+          const double io_rel = cv / bv - 1.0;
+          verdict_row(name, key + " io_ratio", bv, cv, io_rel,
+                      std::fabs(io_rel) > opt.io_tol ? "REGRESSION" : "ok");
+        }
       }
     }
 
