@@ -216,7 +216,8 @@ int main(int argc, char** argv) {
     // would be unmeasurable). Identical for all three legs.
     DiskModel disk;
     disk.realize_fraction = 0.01;
-    auto leg = [&](const char* label, bool parallel, bool prefetch) {
+    auto leg = [&](const char* label, bool parallel, bool prefetch,
+                   bool dag = false) {
       PageCache cache(M, B, disk, robust);
       OocTiledMatrix<double> m(cache, n, n);
       m.load(init);
@@ -237,7 +238,15 @@ int main(int argc, char** argv) {
       try {
         dt = report.timed(label, n, bench::flops_fw(n), [&] {
           const std::uint64_t io0 = cache.stats().io();
-          if (parallel) {
+          if (dag) {
+            // DAG runtime: the scheduler's ready frontier IS the
+            // prefetch stream (lookahead tasks -> page hints).
+            WorkStealingPool pool(threads);
+            ooc_igep_floyd_warshall_dag(
+                m, &pool,
+                {.lookahead = dag_lookahead_from_env(),
+                 .prefetch = prefetch});
+          } else if (parallel) {
             WorkStealingPool pool(threads);
             WsParInvoker inv{&pool};
             ooc_igep_floyd_warshall(m, inv, {.prefetch = prefetch});
@@ -265,7 +274,11 @@ int main(int argc, char** argv) {
       report.annotate("page_ios", static_cast<double>(s.io()));
       report.annotate("prefetch_hits", static_cast<double>(s.prefetch_hits));
       report.annotate("prefetch_hit_rate", s.prefetch_hit_rate());
-      report.annotate("threads", parallel ? threads : 1);
+      report.annotate("threads", parallel || dag ? threads : 1);
+      if (dag) {
+        report.annotate("dag_lookahead",
+                        static_cast<double>(dag_lookahead_from_env()));
+      }
       // I/O-bound accounting: last-pass page transfers against the
       // Θ(n³/(B√M)) + scan prediction. The ratio's absolute value
       // calibrates the Θ constant; the gates only check stability.
@@ -313,6 +326,7 @@ int main(int argc, char** argv) {
     t_sync = leg("typed sync seq", false, false);
     leg("typed parallel", true, false);
     leg("typed parallel+prefetch", true, true);
+    leg("typed dag+prefetch", true, true, /*dag=*/true);
     // Second problem size for the I/O-bound accountant: same B, M kept
     // at n²/2, so measured/predicted should be size-independent (the CI
     // bench-smoke gate checks the two ratios agree within ±25%).

@@ -28,9 +28,19 @@ enum class Engine { Iterative, IGep, IGepZ, CGep, CGepCompact, Blocked };
 
 std::string engine_name(Engine e);
 
+// Scheduler for the IGep/IGepZ engines. ForkJoin is the strict Fig. 6
+// invoker; Dag the dependency-driven block-task runtime
+// (parallel/task_graph.hpp) — bit-identical results, fewer barriers.
+// Auto resolves $GEP_DAG_RUNTIME (=1 forces Dag, =0 ForkJoin, unset
+// ForkJoin), so a whole test/bench process can be pinned from the
+// environment. Engines other than IGep/IGepZ ignore the field; so do
+// the drivers without a DAG mirror yet (fw_paths, gap alignment).
+enum class Runtime { Auto, ForkJoin, Dag };
+
 struct RunOptions {
   index_t base_size = 64;
   int threads = 1;
+  Runtime runtime = Runtime::Auto;
 };
 
 // All-pairs shortest paths on a dense distance matrix (INF = +infinity

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "apps/runtime_select.hpp"
 #include "blas/blas.hpp"
 #include "gep/cgep.hpp"
 #include "gep/functors.hpp"
@@ -69,7 +70,11 @@ void floyd_warshall(Matrix<double>& d, Engine engine, RunOptions opts) {
       with_fw_padding(d, [&](Matrix<double>& m) {
         RowMajorStore<double> st{m.data(), m.rows(),
                                  std::min(opts.base_size, m.rows())};
-        if (opts.threads > 1) {
+        if (detail::use_dag(opts)) {
+          detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+            igep_floyd_warshall_dag(pool, st, m.rows(), {opts.base_size});
+          });
+        } else if (opts.threads > 1) {
           ThreadPool pool(opts.threads);
           ParInvoker inv{&pool};
           igep_floyd_warshall(inv, st, m.rows(), {opts.base_size});
@@ -85,7 +90,11 @@ void floyd_warshall(Matrix<double>& d, Engine engine, RunOptions opts) {
         ZBlocked<double> z(m.rows(), bs);
         z.load(m);  // conversion cost included, as in the paper
         ZStore<double> st{&z};
-        if (opts.threads > 1) {
+        if (detail::use_dag(opts)) {
+          detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+            igep_floyd_warshall_dag(pool, st, m.rows(), {bs});
+          });
+        } else if (opts.threads > 1) {
           ThreadPool pool(opts.threads);
           ParInvoker inv{&pool};
           igep_floyd_warshall(inv, st, m.rows(), {bs});

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "apps/runtime_select.hpp"
 #include "blas/blas.hpp"
 #include "gep/cgep.hpp"
 #include "gep/functors.hpp"
@@ -85,6 +86,14 @@ void gaussian_eliminate(Matrix<double>& a, Engine engine, RunOptions opts) {
     }
     case Engine::IGep:
       with_identity_padding(a, [&](Matrix<double>& m) {
+        if (detail::use_dag(opts)) {
+          RowMajorStore<double> st{m.data(), m.rows(),
+                                   std::min(opts.base_size, m.rows())};
+          detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+            igep_gaussian_dag(pool, st, m.rows(), {opts.base_size});
+          });
+          return;
+        }
         run_typed(m, opts, [&](auto& inv, auto& st) {
           igep_gaussian(inv, st, m.rows(), {opts.base_size});
         });
@@ -96,7 +105,11 @@ void gaussian_eliminate(Matrix<double>& a, Engine engine, RunOptions opts) {
         ZBlocked<double> z(m.rows(), bs);
         z.load(m);
         ZStore<double> st{&z};
-        if (opts.threads > 1) {
+        if (detail::use_dag(opts)) {
+          detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+            igep_gaussian_dag(pool, st, m.rows(), {bs});
+          });
+        } else if (opts.threads > 1) {
           ThreadPool pool(opts.threads);
           ParInvoker inv{&pool};
           igep_gaussian(inv, st, m.rows(), {bs});
@@ -133,6 +146,14 @@ void lu_decompose(Matrix<double>& a, Engine engine, RunOptions opts) {
       return;
     case Engine::IGep:
       with_identity_padding(a, [&](Matrix<double>& m) {
+        if (detail::use_dag(opts)) {
+          RowMajorStore<double> st{m.data(), m.rows(),
+                                   std::min(opts.base_size, m.rows())};
+          detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+            igep_lu_dag(pool, st, m.rows(), {opts.base_size});
+          });
+          return;
+        }
         run_typed(m, opts, [&](auto& inv, auto& st) {
           igep_lu(inv, st, m.rows(), {opts.base_size});
         });
@@ -144,8 +165,14 @@ void lu_decompose(Matrix<double>& a, Engine engine, RunOptions opts) {
         ZBlocked<double> z(m.rows(), bs);
         z.load(m);
         ZStore<double> st{&z};
-        SeqInvoker inv;
-        igep_lu(inv, st, m.rows(), {bs});
+        if (detail::use_dag(opts)) {
+          detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+            igep_lu_dag(pool, st, m.rows(), {bs});
+          });
+        } else {
+          SeqInvoker inv;
+          igep_lu(inv, st, m.rows(), {bs});
+        }
         z.store(m);
       });
       return;

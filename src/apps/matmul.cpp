@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "apps/runtime_select.hpp"
 #include "blas/blas.hpp"
 #include "gep/numeric_guard.hpp"
 #include "gep/typed.hpp"
@@ -55,7 +56,11 @@ void multiply_add(Matrix<double>& c, const Matrix<double>& a,
       RowMajorStore<double> cst{c.data(), n, bs};
       RowMajorStore<const double> ast{a.data(), n, bs};
       RowMajorStore<const double> bst{b.data(), n, bs};
-      if (opts.threads > 1) {
+      if (detail::use_dag(opts)) {
+        detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+          igep_matmul_dag(pool, cst, ast, bst, n, {bs});
+        });
+      } else if (opts.threads > 1) {
         ThreadPool pool(opts.threads);
         ParInvoker inv{&pool};
         igep_matmul(inv, cst, ast, bst, n, {bs});
@@ -80,7 +85,11 @@ void multiply_add(Matrix<double>& c, const Matrix<double>& a,
       az.load(a);
       bz.load(b);
       ZStore<double> cst{&cz}, ast{&az}, bst{&bz};
-      if (opts.threads > 1) {
+      if (detail::use_dag(opts)) {
+        detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+          igep_matmul_dag(pool, cst, ast, bst, n, {bs});
+        });
+      } else if (opts.threads > 1) {
         ThreadPool pool(opts.threads);
         ParInvoker inv{&pool};
         igep_matmul(inv, cst, ast, bst, n, {bs});

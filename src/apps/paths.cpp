@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "apps/runtime_select.hpp"
 #include "gep/cgep.hpp"
 #include "gep/functors.hpp"
 #include "gep/typed.hpp"
@@ -137,7 +138,11 @@ void bottleneck_paths(Matrix<double>& cap, Engine engine, RunOptions opts) {
       with_padding([&](Matrix<double>& m) {
         const index_t bs = std::min(opts.base_size, m.rows());
         RowMajorStore<double> st{m.data(), m.rows(), bs};
-        if (opts.threads > 1) {
+        if (detail::use_dag(opts)) {
+          detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+            igep_bottleneck_dag(pool, st, m.rows(), {bs});
+          });
+        } else if (opts.threads > 1) {
           ThreadPool pool(opts.threads);
           ParInvoker inv{&pool};
           igep_bottleneck(inv, st, m.rows(), {bs});
@@ -153,8 +158,14 @@ void bottleneck_paths(Matrix<double>& cap, Engine engine, RunOptions opts) {
         ZBlocked<double> z(m.rows(), bs);
         z.load(m);
         ZStore<double> st{&z};
-        SeqInvoker inv;
-        igep_bottleneck(inv, st, m.rows(), {bs});
+        if (detail::use_dag(opts)) {
+          detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+            igep_bottleneck_dag(pool, st, m.rows(), {bs});
+          });
+        } else {
+          SeqInvoker inv;
+          igep_bottleneck(inv, st, m.rows(), {bs});
+        }
         z.store(m);
       });
       return;

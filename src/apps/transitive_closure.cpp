@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "apps/runtime_select.hpp"
 #include "gep/cgep.hpp"
 #include "gep/functors.hpp"
 #include "gep/typed.hpp"
@@ -53,7 +54,12 @@ void transitive_closure(Matrix<std::uint8_t>& reach, Engine engine,
       with_zero_padding(reach, [&](Matrix<std::uint8_t>& m) {
         RowMajorStore<std::uint8_t> st{m.data(), m.rows(),
                                        std::min(opts.base_size, m.rows())};
-        if (opts.threads > 1) {
+        if (detail::use_dag(opts)) {
+          detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+            igep_transitive_closure_dag(pool, st, m.rows(),
+                                        {opts.base_size});
+          });
+        } else if (opts.threads > 1) {
           ThreadPool pool(opts.threads);
           ParInvoker inv{&pool};
           igep_transitive_closure(inv, st, m.rows(), {opts.base_size});
@@ -69,8 +75,14 @@ void transitive_closure(Matrix<std::uint8_t>& reach, Engine engine,
         ZBlocked<std::uint8_t> z(m.rows(), bs);
         z.load(m);
         ZStore<std::uint8_t> st{&z};
-        SeqInvoker inv;
-        igep_transitive_closure(inv, st, m.rows(), {bs});
+        if (detail::use_dag(opts)) {
+          detail::with_dag_pool(opts, [&](WorkStealingPool* pool) {
+            igep_transitive_closure_dag(pool, st, m.rows(), {bs});
+          });
+        } else {
+          SeqInvoker inv;
+          igep_transitive_closure(inv, st, m.rows(), {bs});
+        }
         z.store(m);
       });
       return;

@@ -25,10 +25,15 @@
 // docs/EXTMEM.md).
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "extmem/ooc_matrix.hpp"
 #include "gep/typed.hpp"
+#include "parallel/task_graph.hpp"
 
 namespace gep {
 
@@ -58,6 +63,48 @@ void check_ooc_typed(const OocTiledMatrix<T>& m) {
   }
 }
 
+// Suppresses duplicate prefetch hints within a sliding window of
+// recently hinted tiles. The recursion's hint hook fires per subtree
+// corner, and sibling corners of one stage share tiles (B-kind siblings
+// share U, the k-column tiles recur in every corner); worse, a 2bs-wide
+// corner and the bs-wide corners inside it hint the SAME tiles one
+// level apart. Unsuppressed, those duplicates flood the async worker's
+// queue and can evict still-pinned pages it re-faults. The window (not
+// a per-run set) is what makes re-hinting legal later: a tile evicted
+// between stages ages out of the window and may be hinted again.
+// Thread-safe — the parallel invoker runs the hint hook from workers.
+class PrefetchDeduper {
+ public:
+  explicit PrefetchDeduper(std::size_t window = 64) : window_(window) {}
+
+  // True if (mat, ti, tj) has not been hinted within the window; records
+  // it. False counts into extmem.prefetch.hints_deduped.
+  bool should_hint(int mat, index_t ti, index_t tj) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(mat) << 48) |
+                              (static_cast<std::uint64_t>(ti) << 24) |
+                              static_cast<std::uint64_t>(tj);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (seen_.count(key) != 0) {
+      suppressed_.inc();
+      return false;
+    }
+    seen_.insert(key);
+    order_.push_back(key);
+    if (order_.size() > window_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+    }
+    return true;
+  }
+
+ private:
+  std::size_t window_;
+  std::mutex mu_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::deque<std::uint64_t> order_;
+  obs::Counter suppressed_ = obs::counter("extmem.prefetch.hints_deduped");
+};
+
 }  // namespace detail
 
 // Out-of-core Floyd-Warshall at block granularity (base = tile side).
@@ -81,11 +128,16 @@ void ooc_igep_floyd_warshall(OocTiledMatrix<T>& m, Inv& inv,
     // (i0,j0,k0) is a subtree corner: its first leaf reads exactly these
     // tiles. Hint only near the bottom (subtree ≤ 2 base boxes wide) —
     // higher corners are too far in the future to hold in the cache.
+    // Sibling corners share tiles; the deduper swallows the repeats.
+    detail::PrefetchDeduper dedupe;
     auto hint = [&](index_t i0, index_t j0, index_t k0, index_t mm) {
       if (mm > 2 * bs) return;
-      m.prefetch_tile(i0 / bs, j0 / bs);
-      m.prefetch_tile(i0 / bs, k0 / bs);
-      m.prefetch_tile(k0 / bs, j0 / bs);
+      if (dedupe.should_hint(0, i0 / bs, j0 / bs))
+        m.prefetch_tile(i0 / bs, j0 / bs);
+      if (dedupe.should_hint(0, i0 / bs, k0 / bs))
+        m.prefetch_tile(i0 / bs, k0 / bs);
+      if (dedupe.should_hint(0, k0 / bs, j0 / bs))
+        m.prefetch_tile(k0 / bs, j0 / bs);
     };
     detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune, hint);
   } else {
@@ -119,12 +171,17 @@ void ooc_igep_lu(OocTiledMatrix<T>& m, Inv& inv, OocTypedOptions opts = {}) {
     return i0 < k0 || j0 < k0;
   };
   if (opts.prefetch) {
+    detail::PrefetchDeduper dedupe;
     auto hint = [&](index_t i0, index_t j0, index_t k0, index_t mm) {
       if (mm > 2 * bs) return;
-      m.prefetch_tile(i0 / bs, j0 / bs);
-      m.prefetch_tile(i0 / bs, k0 / bs);
-      m.prefetch_tile(k0 / bs, j0 / bs);
-      m.prefetch_tile(k0 / bs, k0 / bs);
+      if (dedupe.should_hint(0, i0 / bs, j0 / bs))
+        m.prefetch_tile(i0 / bs, j0 / bs);
+      if (dedupe.should_hint(0, i0 / bs, k0 / bs))
+        m.prefetch_tile(i0 / bs, k0 / bs);
+      if (dedupe.should_hint(0, k0 / bs, j0 / bs))
+        m.prefetch_tile(k0 / bs, j0 / bs);
+      if (dedupe.should_hint(0, k0 / bs, k0 / bs))
+        m.prefetch_tile(k0 / bs, k0 / bs);
     };
     detail::typed_rec(inv, 0, 0, 0, n, bs, leaf, prune, hint);
   } else {
@@ -154,16 +211,141 @@ void ooc_igep_matmul(OocTiledMatrix<T>& c, OocTiledMatrix<T>& a,
     kernel_mm(x.ptr, u.ptr, v.ptr, mm, bs, bs, bs);
   };
   if (opts.prefetch) {
+    detail::PrefetchDeduper dedupe;
     auto hint = [&](index_t i0, index_t j0, index_t k0, index_t mm) {
       if (mm > 2 * bs) return;
-      c.prefetch_tile(i0 / bs, j0 / bs);
-      a.prefetch_tile(i0 / bs, k0 / bs);
-      b.prefetch_tile(k0 / bs, j0 / bs);
+      if (dedupe.should_hint(0, i0 / bs, j0 / bs))
+        c.prefetch_tile(i0 / bs, j0 / bs);
+      if (dedupe.should_hint(1, i0 / bs, k0 / bs))
+        a.prefetch_tile(i0 / bs, k0 / bs);
+      if (dedupe.should_hint(2, k0 / bs, j0 / bs))
+        b.prefetch_tile(k0 / bs, j0 / bs);
     };
     detail::mm_rec(inv, 0, 0, 0, n, bs, leaf, hint);
   } else {
     detail::mm_rec(inv, 0, 0, 0, n, bs, leaf);
   }
+}
+
+// --- DAG-runtime drivers ---------------------------------------------------
+// The dependency-driven runtime (parallel/task_graph.hpp) replaces the
+// recursion's bolted-on one-stage-ahead hints with the scheduler's own
+// lookahead: the ready frontier that feeds workers also names the next
+// `lookahead` tasks, and this driver's prefetch hook turns each of them
+// into page hints for the async I/O worker. One scheduler state drives
+// both compute and I/O — a task is hinted exactly when its dependencies
+// have retired, so a hinted page is needed soon and never speculatively
+// wrong. Sizing contract is the fork-join drivers' plus `lookahead`
+// unpinned working sets of headroom (4 frames each).
+
+struct OocDagOptions {
+  // Ready tasks announced to the prefetcher ahead of execution; 0
+  // disables prefetch. Overridable per process via $GEP_DAG_LOOKAHEAD.
+  int lookahead = 4;
+  bool prefetch = true;
+  // Same pivot-guard contract as OocTypedOptions::lu_guard.
+  const PivotGuard* lu_guard = nullptr;
+};
+
+template <class T>
+void ooc_igep_floyd_warshall_dag(OocTiledMatrix<T>& m, WorkStealingPool* pool,
+                                 OocDagOptions opts = {}) {
+  detail::check_ooc_typed(m);
+  obs::WatchdogThreadSource wd_src("ooc-fw-dag");
+  const index_t n = m.rows();
+  const index_t bs = m.tile_side();
+  TaskGraph g = build_typed_task_graph(DagProblem::FloydWarshall, n, bs);
+  detail::PrefetchDeduper dedupe;
+  TaskRuntimeOptions ro;
+  if (opts.prefetch && opts.lookahead > 0) {
+    ro.lookahead = opts.lookahead;
+    ro.prefetch = [&m, &dedupe, bs](const BlockTask& t) {
+      const index_t bi = t.i0 / bs, bj = t.j0 / bs, bk = t.k0 / bs;
+      if (dedupe.should_hint(0, bi, bj)) m.prefetch_tile(bi, bj);
+      if (dedupe.should_hint(0, bi, bk)) m.prefetch_tile(bi, bk);
+      if (dedupe.should_hint(0, bk, bj)) m.prefetch_tile(bk, bj);
+    };
+  }
+  run_task_graph(g, pool, [&m, bs](const BlockTask& t) {
+    obs::throw_if_stop_requested();
+    auto x = m.pin_tile(t.i0 / bs, t.j0 / bs, /*for_write=*/true);
+    auto u = m.pin_tile(t.i0 / bs, t.k0 / bs, /*for_write=*/false);
+    auto v = m.pin_tile(t.k0 / bs, t.j0 / bs, /*for_write=*/false);
+    kernel_fw(x.ptr, u.ptr, v.ptr, t.m, bs, bs, bs);
+  }, ro);
+}
+
+template <class T>
+void ooc_igep_lu_dag(OocTiledMatrix<T>& m, WorkStealingPool* pool,
+                     OocDagOptions opts = {}) {
+  detail::check_ooc_typed(m);
+  obs::WatchdogThreadSource wd_src("ooc-lu-dag");
+  const index_t n = m.rows();
+  const index_t bs = m.tile_side();
+  TaskGraph g = build_typed_task_graph(DagProblem::LU, n, bs);
+  detail::PrefetchDeduper dedupe;
+  TaskRuntimeOptions ro;
+  if (opts.prefetch && opts.lookahead > 0) {
+    ro.lookahead = opts.lookahead;
+    ro.prefetch = [&m, &dedupe, bs](const BlockTask& t) {
+      const index_t bi = t.i0 / bs, bj = t.j0 / bs, bk = t.k0 / bs;
+      if (dedupe.should_hint(0, bi, bj)) m.prefetch_tile(bi, bj);
+      if (dedupe.should_hint(0, bi, bk)) m.prefetch_tile(bi, bk);
+      if (dedupe.should_hint(0, bk, bj)) m.prefetch_tile(bk, bj);
+      if (dedupe.should_hint(0, bk, bk)) m.prefetch_tile(bk, bk);
+    };
+  }
+  const PivotGuard* guard = opts.lu_guard;
+  run_task_graph(g, pool, [&m, bs, guard](const BlockTask& t) {
+    obs::throw_if_stop_requested();
+    auto x = m.pin_tile(t.i0 / bs, t.j0 / bs, /*for_write=*/true);
+    auto u = m.pin_tile(t.i0 / bs, t.k0 / bs, /*for_write=*/false);
+    auto v = m.pin_tile(t.k0 / bs, t.j0 / bs, /*for_write=*/false);
+    auto w = m.pin_tile(t.k0 / bs, t.k0 / bs, /*for_write=*/false);
+    const bool di = (t.kind == BoxKind::A || t.kind == BoxKind::B);
+    const bool dj = (t.kind == BoxKind::A || t.kind == BoxKind::C);
+    if (guard != nullptr) {
+      kernel_lu_guarded(x.ptr, u.ptr, v.ptr, w.ptr, t.m, bs, bs, bs, bs, di,
+                        dj, *guard, t.k0);
+    } else {
+      kernel_lu(x.ptr, u.ptr, v.ptr, w.ptr, t.m, bs, bs, bs, bs, di, dj);
+    }
+  }, ro);
+}
+
+template <class T>
+void ooc_igep_matmul_dag(OocTiledMatrix<T>& c, OocTiledMatrix<T>& a,
+                         OocTiledMatrix<T>& b, WorkStealingPool* pool,
+                         OocDagOptions opts = {}) {
+  detail::check_ooc_typed(c);
+  detail::check_ooc_typed(a);
+  detail::check_ooc_typed(b);
+  const index_t n = c.rows();
+  const index_t bs = c.tile_side();
+  if (a.rows() != n || b.rows() != n || a.tile_side() != bs ||
+      b.tile_side() != bs) {
+    throw std::invalid_argument("ooc matmul: shapes/tiles must match");
+  }
+  obs::WatchdogThreadSource wd_src("ooc-mm-dag");
+  TaskGraph g = build_typed_task_graph(DagProblem::MatMul, n, bs);
+  detail::PrefetchDeduper dedupe;
+  TaskRuntimeOptions ro;
+  if (opts.prefetch && opts.lookahead > 0) {
+    ro.lookahead = opts.lookahead;
+    ro.prefetch = [&c, &a, &b, &dedupe, bs](const BlockTask& t) {
+      const index_t bi = t.i0 / bs, bj = t.j0 / bs, bk = t.k0 / bs;
+      if (dedupe.should_hint(0, bi, bj)) c.prefetch_tile(bi, bj);
+      if (dedupe.should_hint(1, bi, bk)) a.prefetch_tile(bi, bk);
+      if (dedupe.should_hint(2, bk, bj)) b.prefetch_tile(bk, bj);
+    };
+  }
+  run_task_graph(g, pool, [&c, &a, &b, bs](const BlockTask& t) {
+    obs::throw_if_stop_requested();
+    auto x = c.pin_tile(t.i0 / bs, t.j0 / bs, /*for_write=*/true);
+    auto u = a.pin_tile(t.i0 / bs, t.k0 / bs, /*for_write=*/false);
+    auto v = b.pin_tile(t.k0 / bs, t.j0 / bs, /*for_write=*/false);
+    kernel_mm(x.ptr, u.ptr, v.ptr, t.m, bs, bs, bs);
+  }, ro);
 }
 
 // Back-compat single-argument forms: synchronous sequential execution.

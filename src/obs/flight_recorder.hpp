@@ -104,6 +104,11 @@ enum Ev : unsigned {
   kStallDetect,    // payload: watchdog source id
   kSignal,         // payload: signal number
   kMark,           // payload: caller-defined (tests)
+  // DAG task runtime (parallel/task_graph.hpp). Appended after kMark so
+  // dumps from older builds keep decoding with the same numbering.
+  kTaskReady,      // payload: task id (entered the lookahead window)
+  kTaskRun,        // payload: task id (started executing)
+  kTaskRetire,     // payload: task id (finished; successors released)
   kEvCount
 };
 
@@ -113,7 +118,8 @@ inline const char* ev_name(unsigned e) {
       "prefetch_issue", "prefetch_done", "io_retry", "crc_recover",
       "io_hard_fail",   "task_steal",  "task_park",  "task_wake",
       "rec_enter",      "rec_leave",   "guard_trip", "stall_detect",
-      "signal",         "mark"};
+      "signal",         "mark",        "task_ready", "task_run",
+      "task_retire"};
   return e < kEvCount ? names[e] : "?";
 }
 

@@ -205,9 +205,18 @@ void Watchdog::unregister_source(int id) {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.reg_mu);
   Source& src = s.sources[id];
-  src.used.store(false, std::memory_order_release);
+  // The monitor reads used -> idle -> last_beat without taking reg_mu,
+  // so clear in the order that keeps every interleaving benign: idle
+  // first (idle sources are exempt from checks), then a fresh beat (a
+  // poll that still reads idle == false sees age ~ 0, not the stale
+  // timestamp of the driver's last leaf), and used last. The previous
+  // order (used, then idle) left a window where a finished driver's
+  // source looked active-with-stale-beat and tripped stall_detect
+  // during teardown.
   src.idle.store(true, std::memory_order_relaxed);
+  src.last_beat_ns.store(flight::now_ns(), std::memory_order_relaxed);
   src.incident.store(kIncidentNone, std::memory_order_relaxed);
+  src.used.store(false, std::memory_order_release);
 }
 
 void Watchdog::beat(int id) {

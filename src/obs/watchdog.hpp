@@ -84,6 +84,11 @@ class WatchdogThreadSource {
     Watchdog::beat(id_);
   }
   ~WatchdogThreadSource() {
+    // The driver's work is done: go idle BEFORE detaching/unregistering
+    // so a monitor poll landing in this window cannot see an active
+    // source whose last beat is the run's final leaf (a stall_detect
+    // false positive during teardown).
+    Watchdog::set_idle(id_);
     Watchdog::attach_thread(prev_);
     Watchdog::unregister_source(id_);
   }

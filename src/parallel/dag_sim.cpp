@@ -43,18 +43,7 @@ struct Builder {
       n.leaf_id = static_cast<int>(boxes->size());
       boxes->push_back(LeafBox{i0, j0, k0, m});
     }
-    switch (prob) {
-      case DagProblem::FloydWarshall:
-      case DagProblem::MatMul:
-        n.cost = static_cast<double>(m) * m * m;
-        break;
-      case DagProblem::Gaussian:
-        n.cost = box_cost(m, di, dj ? 1 : 0);
-        break;
-      case DagProblem::LU:
-        n.cost = box_cost(m, di, dj ? 2 : 0);
-        break;
-    }
+    n.cost = leaf_cost(prob, m, di, dj);
     return n;
   }
 
@@ -159,6 +148,19 @@ struct FlatDag {
 };
 
 }  // namespace
+
+double leaf_cost(DagProblem prob, index_t m, bool di, bool dj) {
+  switch (prob) {
+    case DagProblem::Gaussian:
+      return box_cost(m, di, dj ? 1 : 0);
+    case DagProblem::LU:
+      return box_cost(m, di, dj ? 2 : 0);
+    case DagProblem::FloydWarshall:
+    case DagProblem::MatMul:
+      break;
+  }
+  return static_cast<double>(m) * m * m;
+}
 
 SPNode build_igep_dag(DagProblem prob, index_t n, index_t base,
                       std::vector<LeafBox>* boxes) {

@@ -36,6 +36,13 @@ struct LeafBox {
   index_t i0, j0, k0, m;
 };
 
+// Update count of one base-case box — the leaf cost build_igep_dag
+// assigns. di/dj are the diagonal-overlap flags (i0 == k0, j0 == k0);
+// GE/LU boxes touching the diagonal skip already-eliminated rows or
+// columns, so their cost is below m³. Shared with the task-graph
+// runtime (task_graph.hpp) so both schedulers price work identically.
+double leaf_cost(DagProblem prob, index_t m, bool di, bool dj);
+
 // Builds the multithreaded I-GEP DAG for an n x n problem with the given
 // base size (n, base powers of two, base <= n). When `boxes` is non-null
 // it receives the leaf boxes; SPNode::leaf_id indexes into it.

@@ -1,0 +1,392 @@
+#include "parallel/task_graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <queue>
+
+namespace gep {
+
+void TaskGraph::begin_build(index_t grid_tiles, int n_mats,
+                            std::size_t n_tasks) {
+  grid_ = grid_tiles;
+  blocks_.assign(static_cast<std::size_t>(n_mats) *
+                     static_cast<std::size_t>(grid_tiles) *
+                     static_cast<std::size_t>(grid_tiles),
+                 BlockState{});
+  tasks_.reserve(n_tasks);
+  succ_.reserve(n_tasks);
+  preds_.reserve(n_tasks);
+}
+
+int TaskGraph::add_task(const BlockTask& t, const Access* acc, int n_acc) {
+  const int id = static_cast<int>(tasks_.size());
+  tasks_.push_back(t);
+  succ_.emplace_back();
+  preds_.push_back(0);
+  work_ += t.cost;
+
+  auto key = [this](const Access& a) {
+    return (static_cast<std::size_t>(a.mat) * static_cast<std::size_t>(grid_) +
+            static_cast<std::size_t>(a.bi)) *
+               static_cast<std::size_t>(grid_) +
+           static_cast<std::size_t>(a.bj);
+  };
+
+  // Collect dependencies from the pre-task block states: a write waits
+  // for the block's last writer (WAW) and every reader since it (WAR); a
+  // read waits for the last writer (RAW).
+  dep_scratch_.clear();
+  for (int i = 0; i < n_acc; ++i) {
+    const BlockState& st = blocks_[key(acc[i])];
+    if (st.last_writer >= 0) dep_scratch_.push_back(st.last_writer);
+    if (acc[i].write) {
+      dep_scratch_.insert(dep_scratch_.end(), st.readers.begin(),
+                          st.readers.end());
+    }
+  }
+
+  // Update the states: writes first, so a block this task both writes
+  // and reads (the in-place A/B/C leaves read their own partially
+  // updated X) registers as a write only.
+  for (int i = 0; i < n_acc; ++i) {
+    if (!acc[i].write) continue;
+    BlockState& st = blocks_[key(acc[i])];
+    st.last_writer = id;
+    st.readers.clear();
+  }
+  for (int i = 0; i < n_acc; ++i) {
+    if (acc[i].write) continue;
+    BlockState& st = blocks_[key(acc[i])];
+    if (st.last_writer == id) continue;
+    // Duplicate reads of one block (GE's U and W coincide in B-kind
+    // boxes) would land adjacent: ids only grow.
+    if (!st.readers.empty() && st.readers.back() == id) continue;
+    st.readers.push_back(id);
+  }
+
+  std::sort(dep_scratch_.begin(), dep_scratch_.end());
+  dep_scratch_.erase(std::unique(dep_scratch_.begin(), dep_scratch_.end()),
+                     dep_scratch_.end());
+  for (int d : dep_scratch_) {
+    succ_[static_cast<std::size_t>(d)].push_back(id);
+    preds_[static_cast<std::size_t>(id)] += 1;
+    ++edges_;
+  }
+  return id;
+}
+
+void TaskGraph::finalize() {
+  const int n = size();
+  priority_.assign(static_cast<std::size_t>(n), 0.0);
+  span_ = 0;
+  // Emission order is topological (every dependency has a smaller id),
+  // so one backward sweep computes the critical path to the exit.
+  for (int id = n - 1; id >= 0; --id) {
+    double best = 0;
+    for (int s : succ_[static_cast<std::size_t>(id)]) {
+      best = std::max(best, priority_[static_cast<std::size_t>(s)]);
+    }
+    priority_[static_cast<std::size_t>(id)] =
+        tasks_[static_cast<std::size_t>(id)].cost + best;
+    span_ = std::max(span_, priority_[static_cast<std::size_t>(id)]);
+  }
+  ready0_.clear();
+  for (int id = 0; id < n; ++id) {
+    if (preds_[static_cast<std::size_t>(id)] == 0) ready0_.push_back(id);
+  }
+  std::sort(ready0_.begin(), ready0_.end(), [this](int a, int b) {
+    const double pa = priority_[static_cast<std::size_t>(a)];
+    const double pb = priority_[static_cast<std::size_t>(b)];
+    // Priority ties resolve to emission (sequential) order.
+    return pa != pb ? pa > pb : a < b;
+  });
+  // The per-block analysis state is only needed while adding tasks.
+  blocks_.clear();
+  blocks_.shrink_to_fit();
+  dep_scratch_.clear();
+  dep_scratch_.shrink_to_fit();
+}
+
+TaskGraph build_typed_task_graph(DagProblem prob, index_t n, index_t base) {
+  TaskGraph g;
+  g.problem = prob;
+  const index_t bs = std::min(base, n);
+  // build_igep_dag emits the leaf boxes in exactly the typed recursion's
+  // sequential order (same stage lists as detail::typed_rec / mm_rec),
+  // which is the order the superscalar analysis in add_task requires —
+  // and, unlike running typed_rec with a recording leaf, it does not
+  // bill emission to the typed.* work counters.
+  std::vector<LeafBox> boxes;
+  build_igep_dag(prob, n, bs, &boxes);
+  int log_n = 0;
+  while ((index_t{1} << log_n) < n) ++log_n;
+  const index_t grid = (n + bs - 1) / bs;
+  g.begin_build(grid, prob == DagProblem::MatMul ? 3 : 1, boxes.size());
+  TaskGraph::Access acc[4];
+  for (const LeafBox& b : boxes) {
+    const bool di = (b.i0 == b.k0), dj = (b.j0 == b.k0);
+    BlockTask t;
+    t.kind = di ? (dj ? BoxKind::A : BoxKind::B)
+                : (dj ? BoxKind::C : BoxKind::D);
+    t.i0 = b.i0;
+    t.j0 = b.j0;
+    t.k0 = b.k0;
+    t.m = b.m;
+    int log_m = 0;
+    while ((index_t{1} << log_m) < b.m) ++log_m;
+    t.depth = log_n - log_m;
+    t.cost = leaf_cost(prob, b.m, di, dj);
+    const index_t bi = b.i0 / bs, bj = b.j0 / bs, bk = b.k0 / bs;
+    int na = 0;
+    if (prob == DagProblem::MatMul) {
+      acc[na++] = TaskGraph::Access{0, bi, bj, true};   // C
+      acc[na++] = TaskGraph::Access{1, bi, bk, false};  // A
+      acc[na++] = TaskGraph::Access{2, bk, bj, false};  // B
+    } else {
+      acc[na++] = TaskGraph::Access{0, bi, bj, true};   // X
+      acc[na++] = TaskGraph::Access{0, bi, bk, false};  // U
+      acc[na++] = TaskGraph::Access{0, bk, bj, false};  // V
+      if (prob == DagProblem::Gaussian || prob == DagProblem::LU) {
+        acc[na++] = TaskGraph::Access{0, bk, bk, false};  // W (pivot)
+      }
+    }
+    g.add_task(t, acc, na);
+  }
+  g.finalize();
+  obs::counter("parallel.dag.tasks").inc(static_cast<std::uint64_t>(g.size()));
+  obs::counter("parallel.dag.edges").inc(
+      static_cast<std::uint64_t>(g.edge_count()));
+  return g;
+}
+
+namespace {
+
+// Shared execution state for one run_task_graph call. The leaf-side
+// instrumentation mirrors detail::typed_rec's leaf branch (span, flight
+// breadcrumb, watchdog beat, typed.* counters, sampled hw attribution)
+// so profiles and progress meters read identically across runtimes.
+struct DagExec {
+  const TaskGraph& g;
+  const std::function<void(const BlockTask&)>& leaf;
+  const TaskRuntimeOptions& opts;
+  WsTaskGroup* group = nullptr;
+  std::unique_ptr<std::atomic<int>[]> unmet;
+  std::unique_ptr<std::atomic<bool>[]> was_hinted;
+  std::atomic<int> hints_out{0};
+
+  DagExec(const TaskGraph& graph,
+          const std::function<void(const BlockTask&)>& l,
+          const TaskRuntimeOptions& o)
+      : g(graph), leaf(l), opts(o) {}
+
+  bool hinting() const { return opts.lookahead > 0 && opts.prefetch; }
+
+  // Issues the prefetch hint for a ready task if the lookahead window
+  // has room. Outstanding = hinted but not yet started, so the window
+  // bounds how many speculative working sets the hints can occupy.
+  void maybe_hint(int id) {
+    if (!hinting()) return;
+    int h = hints_out.load(std::memory_order_relaxed);
+    while (h < opts.lookahead) {
+      if (hints_out.compare_exchange_weak(h, h + 1,
+                                          std::memory_order_relaxed)) {
+        was_hinted[id].store(true, std::memory_order_relaxed);
+        obs::counter("parallel.dag.hints").inc();
+        opts.prefetch(g.task(id));
+        return;
+      }
+    }
+  }
+
+  void bump_counters(const BlockTask& t) {
+#if GEP_OBS
+    const std::uint64_t cube =
+        static_cast<std::uint64_t>(t.m) * t.m * t.m;
+    if (g.problem == DagProblem::MatMul) {
+      static obs::Counter calls = obs::counter("typed.mm.leaf_calls");
+      static obs::Counter upd = obs::counter("typed.mm.updates");
+      calls.inc();
+      upd.inc(cube);
+    } else {
+      detail::TypedMetrics& tm = detail::typed_metrics();
+      const int ki = static_cast<int>(t.kind);
+      tm.leaf_calls[ki].inc();
+      tm.updates[ki].inc(cube);
+    }
+#else
+    (void)t;
+#endif
+  }
+
+  void exec_leaf(int id) {
+    obs::Watchdog::beat_this_thread();
+    const BlockTask& t = g.task(id);
+    if (was_hinted != nullptr &&
+        was_hinted[id].load(std::memory_order_relaxed)) {
+      hints_out.fetch_sub(1, std::memory_order_relaxed);
+    }
+    obs::flight::record(obs::flightfmt::kTaskRun,
+                        static_cast<std::uint64_t>(id));
+    const char kc = box_kind_char(t.kind);
+    obs::ScopedSpan span(kc, t.depth, t.i0, t.j0, t.k0, t.m);
+    obs::FlightRecScope frec(kc, t.depth, static_cast<std::uint64_t>(t.m));
+    bump_counters(t);
+    {
+      obs::ScopedLeafSample sample(kc, static_cast<long long>(t.m));
+      leaf(t);
+    }
+    obs::flight::record(obs::flightfmt::kTaskRetire,
+                        static_cast<std::uint64_t>(id));
+  }
+
+  void submit(int id) {
+    obs::flight::record(obs::flightfmt::kTaskReady,
+                        static_cast<std::uint64_t>(id));
+    maybe_hint(id);
+    group->run([this, id] { run_parallel(id); });
+  }
+
+  void run_parallel(int id) {
+    thread_local std::vector<int> newly;
+    while (true) {
+      exec_leaf(id);
+      // Release successors. A leaf that threw skips this (the exception
+      // is captured by the pool and rethrown from wait()), so dependents
+      // of a failed task are never submitted. acq_rel: the last
+      // predecessor's matrix writes happen-before the successor's
+      // execution.
+      newly.clear();
+      for (int s : g.successors(id)) {
+        if (unmet[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          newly.push_back(s);
+        }
+      }
+      if (newly.empty()) return;
+      // The deque pops LIFO, so submit in ASCENDING priority: the
+      // highest-priority (deepest critical path) task lands on top.
+      // Ties resolve to emission order popping first (larger id pushed
+      // earlier).
+      std::sort(newly.begin(), newly.end(), [this](int a, int b) {
+        const double pa = g.priority(a), pb = g.priority(b);
+        return pa != pb ? pa < pb : a > b;
+      });
+      // Work-first continuation: the best released successor runs inline
+      // on this worker. It shares blocks with the task that released it,
+      // and most tasks release exactly one successor (the block's WAW
+      // chain), so skipping the deque removes a push/pop/steal round
+      // trip per task and keeps the critical path off the steal path.
+      const int next = newly.back();
+      newly.pop_back();
+      for (int s : newly) submit(s);
+      obs::flight::record(obs::flightfmt::kTaskReady,
+                          static_cast<std::uint64_t>(next));
+      id = next;
+    }
+  }
+};
+
+}  // namespace
+
+void run_task_graph(const TaskGraph& g, WorkStealingPool* pool,
+                    const std::function<void(const BlockTask&)>& leaf,
+                    const TaskRuntimeOptions& opts) {
+  const int n = g.size();
+  if (n == 0) return;
+  if (pool == nullptr || pool->threads() <= 1) {
+    // Sequential engine: execute in emission order — a topological
+    // order that IS the typed recursion's sequential schedule — with a
+    // cursor hinting `lookahead` tasks past the one about to run. No
+    // group machinery: chaining submits through WsTaskGroup::run's
+    // inline path would recurse a full DAG deep.
+    DagExec ex(g, leaf, opts);
+    int cursor = 0;
+    for (int id = 0; id < n; ++id) {
+      if (ex.hinting()) {
+        const int limit = std::min(n, id + 1 + opts.lookahead);
+        for (; cursor < limit; ++cursor) {
+          obs::flight::record(obs::flightfmt::kTaskReady,
+                              static_cast<std::uint64_t>(cursor));
+          obs::counter("parallel.dag.hints").inc();
+          opts.prefetch(g.task(cursor));
+        }
+      }
+      ex.exec_leaf(id);
+    }
+    return;
+  }
+
+  DagExec ex(g, leaf, opts);
+  ex.unmet = std::make_unique<std::atomic<int>[]>(
+      static_cast<std::size_t>(n));
+  ex.was_hinted = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    ex.unmet[id].store(g.pred_count(id), std::memory_order_relaxed);
+    ex.was_hinted[id].store(false, std::memory_order_relaxed);
+  }
+  WsTaskGroup group(pool);
+  ex.group = &group;
+  // initial_ready() is priority-descending; push ascending so the LIFO
+  // pop order starts on the critical path.
+  const std::vector<int>& r0 = g.initial_ready();
+  for (auto it = r0.rbegin(); it != r0.rend(); ++it) ex.submit(*it);
+  group.wait();
+}
+
+double task_graph_makespan(const TaskGraph& g, int p) {
+  const int n = g.size();
+  if (n == 0) return 0;
+  std::vector<int> unmet(static_cast<std::size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    unmet[static_cast<std::size_t>(id)] = g.pred_count(id);
+  }
+  // Dispatch ready tasks by critical-path priority (ties: emission
+  // order) — the same greedy non-preemptive policy as dag_makespan, so
+  // the two makespans are directly comparable.
+  auto lower = [&g](int a, int b) {
+    const double pa = g.priority(a), pb = g.priority(b);
+    return pa != pb ? pa < pb : a > b;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(lower)> ready(lower);
+  for (int id : g.initial_ready()) ready.push(id);
+  using Event = std::pair<double, int>;  // (finish time, task)
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
+  const int procs = std::max(1, p);
+  int busy = 0;
+  double t = 0;
+  int done = 0;
+  while (done < n) {
+    while (busy < procs && !ready.empty()) {
+      const int id = ready.top();
+      ready.pop();
+      running.emplace(t + g.task(id).cost, id);
+      ++busy;
+    }
+    const auto [finish, id] = running.top();
+    running.pop();
+    t = finish;
+    --busy;
+    ++done;
+    for (int s : g.successors(id)) {
+      if (--unmet[static_cast<std::size_t>(s)] == 0) ready.push(s);
+    }
+  }
+  return t;
+}
+
+RuntimeKind runtime_from_env(RuntimeKind fallback) {
+  const char* v = std::getenv("GEP_DAG_RUNTIME");
+  if (v == nullptr || *v == '\0') return fallback;
+  return (*v == '0') ? RuntimeKind::ForkJoin : RuntimeKind::Dag;
+}
+
+int dag_lookahead_from_env(int fallback) {
+  const char* v = std::getenv("GEP_DAG_LOOKAHEAD");
+  if (v == nullptr || *v == '\0') return fallback;
+  const int k = std::atoi(v);
+  return k >= 0 ? k : fallback;
+}
+
+}  // namespace gep

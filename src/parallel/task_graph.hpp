@@ -1,0 +1,276 @@
+// Dependency-driven block-task runtime for typed I-GEP (ROADMAP item 2).
+//
+// The fork-join invoker (Fig. 6) serializes every recursion level at a
+// join barrier even though only the A/B/C-kind boxes carry true
+// dependencies. Here the typed A/B/C/D recursion *emits* a DAG of block
+// tasks instead of executing them: one node per base-case box
+// (kind, box, depth), with edges derived from the boxes' read/write
+// BLOCK sets — the same X/U/V/W tile accesses the legality analysis
+// reasons about. Emission order is the sequential execution order, and
+// the builder runs the classic superscalar dependence analysis over it
+// (RAW: read depends on the block's last writer; WAR: a write depends on
+// every reader since that writer; WAW: writes to a block form a chain).
+// Any topological execution of the resulting DAG therefore performs each
+// block's update sequence in exactly the sequential order, which makes
+// every schedule — 1 thread, N threads, work-stealing jitter and all —
+// bit-identical to the sequential run.
+//
+// The runtime executes the DAG on the existing WorkStealingPool with
+//  * data-dependency tracking (atomic unmet-predecessor counts),
+//  * priority by critical path (longest cost-weighted path to the exit;
+//    newly ready tasks are pushed so the LIFO pop order prefers the
+//    critical path), and
+//  * lookahead: the ready frontier extends past what used to be join
+//    barriers, and its first `lookahead` tasks are announced to an
+//    optional prefetch hook. Out-of-core drivers point that hook at
+//    PageCache::prefetch, so the SAME scheduler state drives both the
+//    workers and the async I/O worker (extmem/ooc_typed.hpp).
+//
+// The fork-join invoker remains the default engine; the DAG runtime is
+// opted into per call site or process-wide via $GEP_DAG_RUNTIME=1
+// (apps::RunOptions::runtime). dag_sim.hpp's greedy scheduler is the
+// quality oracle: task_graph_makespan() on this DAG must not exceed the
+// fork-join DAG's makespan (fewer constraints, same greedy policy).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gep/typed.hpp"
+#include "parallel/dag_sim.hpp"
+#include "parallel/work_stealing.hpp"
+
+namespace gep {
+
+// One base-case box of the typed recursion, as a schedulable task.
+struct BlockTask {
+  BoxKind kind = BoxKind::D;
+  index_t i0 = 0, j0 = 0, k0 = 0, m = 0;  // element coords, box side
+  int depth = 0;                          // recursion depth of the leaf
+  double cost = 0;                        // update count (dag_sim costs)
+};
+
+// Dependency DAG over block tasks. Built task by task in sequential
+// emission order; finalize() computes critical-path priorities.
+class TaskGraph {
+ public:
+  // One block touched by a task. `mat` distinguishes operand matrices
+  // (0 = X/C; matmul uses 1 = A, 2 = B); (bi, bj) are tile coordinates.
+  struct Access {
+    int mat;
+    index_t bi, bj;
+    bool write;
+  };
+
+  // Sizes the per-block analysis state: `grid_tiles` tiles per side,
+  // `n_mats` operand matrices, and an expected task count to reserve
+  // for. Must be called before the first add_task.
+  void begin_build(index_t grid_tiles, int n_mats, std::size_t n_tasks);
+
+  // Appends a task and derives its dependency edges from the accesses.
+  // Tasks MUST be added in sequential execution order (the analysis
+  // serializes each block's access history in that order). Returns the
+  // task id. A block both written and read by one task counts as a
+  // write only (in-place kernels read their own partially updated X).
+  int add_task(const BlockTask& t, const Access* acc, int n_acc);
+
+  // Computes priorities and the initial ready list. Call once, after
+  // the last add_task; add_task afterwards is undefined.
+  void finalize();
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+  const BlockTask& task(int id) const {
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<int>& successors(int id) const {
+    return succ_[static_cast<std::size_t>(id)];
+  }
+  int pred_count(int id) const { return preds_[static_cast<std::size_t>(id)]; }
+  // Critical-path length (cost-weighted, inclusive) from this task to
+  // the DAG's exit. Valid after finalize().
+  double priority(int id) const {
+    return priority_[static_cast<std::size_t>(id)];
+  }
+  std::size_t edge_count() const { return edges_; }
+  double work() const { return work_; }        // sum of task costs
+  double span() const { return span_; }        // critical path, finalized
+  // Tasks with no predecessors, highest priority first.
+  const std::vector<int>& initial_ready() const { return ready0_; }
+
+  // Which counter family executions bill to (typed.* vs typed.mm.*).
+  DagProblem problem = DagProblem::FloydWarshall;
+
+ private:
+  struct BlockState {
+    int last_writer = -1;
+    std::vector<int> readers;  // since last_writer
+  };
+
+  std::vector<BlockTask> tasks_;
+  std::vector<std::vector<int>> succ_;
+  std::vector<int> preds_;
+  std::vector<double> priority_;
+  std::vector<int> ready0_;
+  // Flat (mat, bi, bj) -> state array: the grid is known before the
+  // first add_task, and a direct index beats hashing the coordinates on
+  // the build's hot path (~4 lookups per task).
+  std::vector<BlockState> blocks_;
+  index_t grid_ = 0;
+  std::vector<int> dep_scratch_;
+  std::size_t edges_ = 0;
+  double work_ = 0;
+  double span_ = 0;
+};
+
+// Emits the typed recursion's leaf boxes (gep/typed.hpp, sequential
+// order) into a TaskGraph with per-problem prune rule, access sets
+// (X/U/V plus W for GE/LU; C/A/B for matmul) and dag_sim leaf costs.
+TaskGraph build_typed_task_graph(DagProblem prob, index_t n, index_t base);
+
+struct TaskRuntimeOptions {
+  // Ready tasks announced to `prefetch` ahead of execution. 0 disables
+  // the hook. The window is counted in TASKS (each OOC task pins up to
+  // 4 tiles), bounding how many unpinned frames hints can occupy.
+  int lookahead = 0;
+  // Called once per task when it enters the lookahead window (ready, or
+  // about to run in the sequential engine). May run on any thread.
+  std::function<void(const BlockTask&)> prefetch;
+};
+
+// Executes the DAG. With a pool of >= 2 threads, ready tasks run on the
+// work-stealing pool (the calling thread helps); otherwise tasks run on
+// the calling thread in emission order — exactly the sequential typed
+// engine's schedule. A leaf exception stops dependents of the failed
+// task from being submitted and rethrows from here (first failure wins,
+// matching WsTaskGroup::wait).
+void run_task_graph(const TaskGraph& g, WorkStealingPool* pool,
+                    const std::function<void(const BlockTask&)>& leaf,
+                    const TaskRuntimeOptions& opts = {});
+
+// Greedy list-scheduling makespan of the task DAG with p virtual
+// processors, dispatching by critical-path priority — the counterpart
+// of dag_makespan() (same policy, fork-join DAG) for schedule-quality
+// validation.
+double task_graph_makespan(const TaskGraph& g, int p);
+
+// Process-wide runtime pin: $GEP_DAG_RUNTIME=1 selects the DAG runtime,
+// =0 the fork-join invoker; unset keeps `fallback`.
+enum class RuntimeKind { ForkJoin, Dag };
+RuntimeKind runtime_from_env(RuntimeKind fallback = RuntimeKind::ForkJoin);
+
+// Lookahead depth for DAG-driven prefetch ($GEP_DAG_LOOKAHEAD).
+int dag_lookahead_from_env(int fallback = 4);
+
+// --- typed in-core drivers over the DAG runtime ----------------------------
+// Mirrors of the typed.hpp drivers: same stores, same kernels, same
+// results bit for bit; only the schedule differs. pool == nullptr (or a
+// 1-thread pool) runs the DAG sequentially.
+
+template <class Store>
+void igep_floyd_warshall_dag(WorkStealingPool* pool, const Store& st,
+                             index_t n, TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-fw-dag");
+  using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t s = st.tile_stride();
+  TaskGraph g = build_typed_task_graph(DagProblem::FloydWarshall, n, bs);
+  run_task_graph(g, pool, [&](const BlockTask& t) {
+    T* x = st.tile(t.i0 / bs, t.j0 / bs);
+    const T* u = st.tile(t.i0 / bs, t.k0 / bs);
+    const T* v = st.tile(t.k0 / bs, t.j0 / bs);
+    kernel_fw(x, u, v, t.m, s, s, s);
+  });
+}
+
+template <class Store>
+void igep_transitive_closure_dag(WorkStealingPool* pool, const Store& st,
+                                 index_t n, TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-tc-dag");
+  using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t s = st.tile_stride();
+  TaskGraph g = build_typed_task_graph(DagProblem::FloydWarshall, n, bs);
+  run_task_graph(g, pool, [&](const BlockTask& t) {
+    T* x = st.tile(t.i0 / bs, t.j0 / bs);
+    const T* u = st.tile(t.i0 / bs, t.k0 / bs);
+    const T* v = st.tile(t.k0 / bs, t.j0 / bs);
+    kernel_tc(x, u, v, t.m, s, s, s);
+  });
+}
+
+template <class Store>
+void igep_bottleneck_dag(WorkStealingPool* pool, const Store& st, index_t n,
+                         TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-bottleneck-dag");
+  using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t s = st.tile_stride();
+  TaskGraph g = build_typed_task_graph(DagProblem::FloydWarshall, n, bs);
+  run_task_graph(g, pool, [&](const BlockTask& t) {
+    T* x = st.tile(t.i0 / bs, t.j0 / bs);
+    const T* u = st.tile(t.i0 / bs, t.k0 / bs);
+    const T* v = st.tile(t.k0 / bs, t.j0 / bs);
+    kernel_bottleneck(x, u, v, t.m, s, s, s);
+  });
+}
+
+template <class Store>
+void igep_gaussian_dag(WorkStealingPool* pool, const Store& st, index_t n,
+                       TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-ge-dag");
+  using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t s = st.tile_stride();
+  TaskGraph g = build_typed_task_graph(DagProblem::Gaussian, n, bs);
+  run_task_graph(g, pool, [&](const BlockTask& t) {
+    T* x = st.tile(t.i0 / bs, t.j0 / bs);
+    const T* u = st.tile(t.i0 / bs, t.k0 / bs);
+    const T* v = st.tile(t.k0 / bs, t.j0 / bs);
+    const T* w = st.tile(t.k0 / bs, t.k0 / bs);
+    const bool di = (t.kind == BoxKind::A || t.kind == BoxKind::B);
+    const bool dj = (t.kind == BoxKind::A || t.kind == BoxKind::C);
+    kernel_ge(x, u, v, w, t.m, s, s, s, s, di, dj);
+  });
+}
+
+template <class Store>
+void igep_lu_dag(WorkStealingPool* pool, const Store& st, index_t n,
+                 TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-lu-dag");
+  using T = std::remove_reference_t<decltype(st.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t s = st.tile_stride();
+  TaskGraph g = build_typed_task_graph(DagProblem::LU, n, bs);
+  run_task_graph(g, pool, [&](const BlockTask& t) {
+    T* x = st.tile(t.i0 / bs, t.j0 / bs);
+    const T* u = st.tile(t.i0 / bs, t.k0 / bs);
+    const T* v = st.tile(t.k0 / bs, t.j0 / bs);
+    const T* w = st.tile(t.k0 / bs, t.k0 / bs);
+    const bool di = (t.kind == BoxKind::A || t.kind == BoxKind::B);
+    const bool dj = (t.kind == BoxKind::A || t.kind == BoxKind::C);
+    kernel_lu(x, u, v, w, t.m, s, s, s, s, di, dj);
+  });
+}
+
+template <class StoreC, class StoreA, class StoreB>
+void igep_matmul_dag(WorkStealingPool* pool, const StoreC& cst,
+                     const StoreA& ast, const StoreB& bst, index_t n,
+                     TypedOptions opts = {}) {
+  obs::WatchdogThreadSource wd_src("igep-mm-dag");
+  using T = std::remove_reference_t<decltype(cst.tile(0, 0)[0])>;
+  const index_t bs = std::min(opts.base_size, n);
+  const index_t sc = cst.tile_stride();
+  const index_t sa = ast.tile_stride();
+  const index_t sb = bst.tile_stride();
+  TaskGraph g = build_typed_task_graph(DagProblem::MatMul, n, bs);
+  run_task_graph(g, pool, [&](const BlockTask& t) {
+    T* x = cst.tile(t.i0 / bs, t.j0 / bs);
+    const T* a = ast.tile(t.i0 / bs, t.k0 / bs);
+    const T* b = bst.tile(t.k0 / bs, t.j0 / bs);
+    kernel_mm(x, a, b, t.m, sc, sa, sb);
+  });
+}
+
+}  // namespace gep

@@ -71,7 +71,15 @@ WorkStealingPool::WorkStealingPool(int threads)
 WorkStealingPool::~WorkStealingPool() {
   {
     // Publish under the sleep mutex so a worker between its predicate
-    // check and blocking cannot miss the shutdown notification.
+    // check and blocking cannot miss the shutdown notification: the
+    // worker evaluates the wait predicate holding sleep_mu_, so it
+    // either sees stop_ already true (returns without blocking) or
+    // blocks before this store runs — and then notify_all reaches it.
+    // Without the lock here, a store landing in that predicate-to-block
+    // window would be a classically lost final wake (the 1ms wait_for
+    // timeout would mask it as slow shutdown, not a hang — which is why
+    // the construct/destroy stress test also checks teardown LATENCY
+    // indirectly by iterating many pools).
     std::lock_guard<std::mutex> lock(sleep_mu_);
     stop_.store(true);
   }
@@ -84,12 +92,19 @@ int WorkStealingPool::self_id() const {
 }
 
 void WorkStealingPool::push(Task t) {
+  // Count the task BEFORE it becomes stealable. With the increment after
+  // the deque insert, a parked worker's wait predicate could run in the
+  // window between them, read pending == 0 with the task already queued,
+  // and sleep its full timeout — a once-per-push 1ms stall that the DAG
+  // runtime's submit-on-release path hits far more often than fork-join
+  // did. A transient pending > 0 with the deque still empty is harmless:
+  // try_run_one simply finds nothing and the waiter rechecks.
+  pending_tasks_.fetch_add(1);  // seq_cst: ordered against sleepers_ below
   Deque& d = *deques_[static_cast<std::size_t>(self_id())];
   {
     std::lock_guard<std::mutex> lock(d.mu);
     d.q.push_back(std::move(t));
   }
-  pending_tasks_.fetch_add(1);  // seq_cst: ordered against sleepers_ below
   if (sleepers_.load() > 0) {
     // A worker may have evaluated the wait predicate (pending == 0) but
     // not yet blocked; notifying in that window is lost and the worker

@@ -189,6 +189,33 @@ TEST(WorkStealing, StressManyGroups) {
   EXPECT_EQ(hits.load(), 800);
 }
 
+// Shutdown-race regression (run under TSan in CI): tearing a pool down
+// right after — or even during — a burst of submissions must never hang
+// a parked worker or lose a task. Exercises the ~WorkStealingPool
+// stop_-under-sleep_mu_ publish and the pending-before-push ordering
+// against workers that are mid-predicate on the sleep fence.
+TEST(WorkStealing, StressPoolConstructDestroyLoop) {
+  for (int round = 0; round < 60; ++round) {
+    const int threads = 1 + round % 8;
+    WorkStealingPool pool(threads);
+    std::atomic<int> count{0};
+    WsTaskGroup g(&pool);
+    // A tiny burst: workers are likely still parked from construction,
+    // so push() hits the just-woken / still-sleeping window, and the
+    // destructor follows immediately after wait().
+    for (int t = 0; t < threads + 2; ++t) {
+      g.run([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    g.wait();
+    ASSERT_EQ(count.load(), threads + 2) << "round " << round;
+  }
+  // Destruction with NO work ever submitted: workers die from the
+  // parked state off the stop_ flag alone.
+  for (int round = 0; round < 60; ++round) {
+    WorkStealingPool pool(1 + round % 8);
+  }
+}
+
 // --- Matrix file I/O ---------------------------------------------------------
 
 TEST(MatrixIo, RoundTripExact) {

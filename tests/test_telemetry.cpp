@@ -34,6 +34,32 @@ namespace {
 
 namespace ff = obs::flightfmt;
 
+// Teardown gate for the idle/exit false-positive fix: after the whole
+// suite has run — every WatchdogThreadSource destroyed, every test's
+// monitor stopped — re-arm the watchdog over whatever source slots the
+// tests left behind. A source that failed to de-register (or whose slot
+// kept a stale last_beat) trips this within one poll.
+class NoLeakedStallSources : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    ASSERT_FALSE(obs::Watchdog::running())
+        << "a test forgot to stop the watchdog";
+    const std::uint64_t stalls0 = obs::Watchdog::stalls_detected();
+    obs::Watchdog::Options o;
+    o.threshold_ms = 60.0;
+    o.poll_ms = 15.0;
+    o.dump_on_stall = false;
+    if (!obs::Watchdog::start(o)) return;  // GEP_OBS=0: nothing to check
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    obs::Watchdog::stop();
+    EXPECT_EQ(obs::Watchdog::stalls_detected(), stalls0)
+        << "a leaked or stale watchdog source stalls after teardown";
+  }
+};
+
+const ::testing::Environment* const kNoLeakedStallSources =
+    ::testing::AddGlobalTestEnvironment(new NoLeakedStallSources);
+
 Matrix<double> dd_matrix(index_t n, std::uint64_t seed) {
   SplitMix64 g(seed);
   Matrix<double> m(n, n);
@@ -384,6 +410,37 @@ TEST(TelemetryWatchdog, BeatingAndIdleSourcesNeverFalsePositive) {
       << "neither a beating source nor an idle one may trip the monitor";
   obs::Watchdog::unregister_source(beating);
   obs::Watchdog::unregister_source(idle);
+}
+
+// Regression for the idle false-positive: a WatchdogThreadSource whose
+// scope ends while the monitor is armed must leave nothing behind that
+// can stall — its destructor idles the slot, refreshes the beat, and
+// de-registers, in that order, so the monitor can never observe a
+// live-looking slot with a stale last_beat.
+TEST(TelemetryWatchdog, SourceScopeExitLeavesNoStallBehind) {
+  ASSERT_FALSE(obs::Watchdog::running());
+  const std::uint64_t stalls0 = obs::Watchdog::stalls_detected();
+
+  obs::Watchdog::Options opts;
+  opts.threshold_ms = 80.0;
+  opts.poll_ms = 20.0;
+  opts.dump_on_stall = false;
+  ASSERT_TRUE(obs::Watchdog::start(opts));
+  {
+    obs::WatchdogThreadSource src("test-scope-exit");
+    ASSERT_GE(src.id(), 0);
+    obs::Watchdog::beat_this_thread();
+  }  // armed monitor keeps polling; the dead slot must stay silent
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // Slot reuse: a NEW source taking the freed slot starts from a fresh
+  // beat, not the dead source's last one.
+  {
+    obs::WatchdogThreadSource next("test-scope-reuse");
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  obs::Watchdog::stop();
+  EXPECT_EQ(obs::Watchdog::stalls_detected(), stalls0)
+      << "an exited source must never trip the monitor";
 }
 
 TEST(TelemetryWatchdog, LatencyBurstInPageCacheIsDetected) {

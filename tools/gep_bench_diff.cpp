@@ -218,18 +218,26 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   gep::Table table(
-      {"bench", "metric", "baseline", "current", "delta", "verdict"});
+      {"bench", "metric", "baseline", "current", "delta", "bound", "verdict"});
   Verdicts v;
   std::vector<std::string> notes;
 
+  // `bound` names the threshold that actually applied to the row, so a
+  // verdict is auditable from the table alone (which matters most when
+  // the MAD bound silently degenerates — see the zero-MAD fallback).
   auto verdict_row = [&](const std::string& bench, const std::string& metric,
                          double b, double c, double rel,
-                         const char* verdict) {
-    table.add_row({bench, metric, fmt(b), fmt(c), pct(rel), verdict});
+                         const std::string& bound, const char* verdict) {
+    table.add_row({bench, metric, fmt(b), fmt(c), pct(rel), bound, verdict});
     if (std::strcmp(verdict, "REGRESSION") == 0) ++v.regressions;
     else if (std::strcmp(verdict, "IMPROVED") == 0) ++v.improvements;
     else if (std::strcmp(verdict, "INFO") == 0) ++v.infos;
     else ++v.oks;
+  };
+  auto tol_bound = [&](double tol) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "±%.3g%%", 100.0 * tol);
+    return std::string(buf);
   };
 
   const auto base_benches = benches_of(base);
@@ -266,17 +274,36 @@ int main(int argc, char** argv) {
       const double rel = cs / bs - 1.0;
       const double mad = std::max((*br)["seconds_mad"].as_double(),
                                   cr["seconds_mad"].as_double());
-      const double thresh =
-          std::max(opt.mads * mad, opt.min_rel * bs);
+      // A single-repeat manifest carries seconds_mad == 0, which used to
+      // collapse the MAD bound to the bare relative floor with nothing
+      // in the output saying so. Make the fallback explicit: the bound
+      // column names which threshold gated the row, and the degenerate
+      // case is labelled so a reviewer knows the noise estimate was
+      // absent, not tight.
+      char bound_buf[48];
+      double thresh;
+      if (mad <= 0) {
+        thresh = opt.min_rel * bs;
+        std::snprintf(bound_buf, sizeof bound_buf, "%.0f%% floor (MAD=0)",
+                      100.0 * opt.min_rel);
+      } else if (opt.mads * mad >= opt.min_rel * bs) {
+        thresh = opt.mads * mad;
+        std::snprintf(bound_buf, sizeof bound_buf, "%.3g*MAD", opt.mads);
+      } else {
+        thresh = opt.min_rel * bs;
+        std::snprintf(bound_buf, sizeof bound_buf, "%.0f%% floor",
+                      100.0 * opt.min_rel);
+      }
+      const std::string bound = bound_buf;
       const std::string metric = key + " seconds";
       if (!gate_hostdep || bs < opt.min_seconds) {
-        verdict_row(name, metric, bs, cs, rel, "INFO");
+        verdict_row(name, metric, bs, cs, rel, bound, "INFO");
       } else if (cs - bs > thresh) {
-        verdict_row(name, metric, bs, cs, rel, "REGRESSION");
+        verdict_row(name, metric, bs, cs, rel, bound, "REGRESSION");
       } else if (bs - cs > thresh) {
-        verdict_row(name, metric, bs, cs, rel, "IMPROVED");
+        verdict_row(name, metric, bs, cs, rel, bound, "IMPROVED");
       } else {
-        verdict_row(name, metric, bs, cs, rel, "ok");
+        verdict_row(name, metric, bs, cs, rel, bound, "ok");
       }
 
       // --- I/O-bound ratio (when both sides carry it) --------------------
@@ -288,6 +315,7 @@ int main(int argc, char** argv) {
         if (bv > 0 && cv > 0) {
           const double io_rel = cv / bv - 1.0;
           verdict_row(name, key + " io_ratio", bv, cv, io_rel,
+                      tol_bound(opt.io_tol),
                       std::fabs(io_rel) > opt.io_tol ? "REGRESSION" : "ok");
         }
       }
@@ -318,7 +346,7 @@ int main(int argc, char** argv) {
                                                         : "ok";
       // Only surface interesting rows: drift, or any gated-class miss.
       if (std::strcmp(verdict, "ok") != 0 || std::fabs(rel) > tol / 2)
-        verdict_row(name, cname, b, c, rel, verdict);
+        verdict_row(name, cname, b, c, rel, tol_bound(tol), verdict);
       else
         ++v.oks;
     }
