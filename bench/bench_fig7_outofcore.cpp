@@ -11,11 +11,17 @@
 // page transfer COUNTS are exact, so the shapes are hardware-independent.
 #include "bench_common.hpp"
 
+#include <dirent.h>
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
 
+#include "extmem/checkpoint.hpp"
 #include "extmem/ooc_matrix.hpp"
 #include "extmem/ooc_typed.hpp"
 #include "gep/cgep.hpp"
@@ -94,22 +100,39 @@ int main(int argc, char** argv) {
   // errors and in-flight bit flips (X/2 for torn writes). Results must
   // still be bit-identical across legs; the robust.* recovery counters
   // land in the BENCH JSON under report "fig7_outofcore_faults".
+  // --ckpt-every=N / --ckpt-interval=S: add a checkpointed leg (snapshot
+  // every N retired leaves and/or every S seconds of wall clock) whose
+  // ckpt.* costs land in the BENCH JSON under "fig7_outofcore_ckpt"; the
+  // CI smoke gate asserts the overhead stays under 10% of the leg's wall.
   double fault_rate = 0;
+  std::uint64_t ckpt_every = 0;
+  double ckpt_interval = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--fault-rate=", 13) == 0) {
       fault_rate = std::strtod(arg + 13, nullptr);
+    } else if (std::strncmp(arg, "--ckpt-every=", 13) == 0) {
+      ckpt_every = std::strtoull(arg + 13, nullptr, 10);
+    } else if (std::strncmp(arg, "--ckpt-interval=", 16) == 0) {
+      ckpt_interval = std::strtod(arg + 16, nullptr);
     } else {
-      std::fprintf(stderr, "usage: %s [--fault-rate=X]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--fault-rate=X] [--ckpt-every=N]"
+                   " [--ckpt-interval=S]\n",
+                   argv[0]);
       return 2;
     }
   }
+  const bool ckpt_on = ckpt_every > 0 || ckpt_interval > 0;
   const double peak = bench::print_host_banner(
       "Figure 7: out-of-core I/O wait, GEP vs I-GEP vs C-GEP");
   // Cooperative SIGINT/SIGTERM: the typed legs poll a stop flag at leaf
   // granularity and unwind through JobCancelled, so an interrupted run
   // still flushes write-behind and leaves a decodable flight dump.
   obs::flight::install_job_signal_handlers();
+  // SIGUSR2 -> checkpoint-and-continue (consumed by the ckpt leg's
+  // coordinator at the next leaf retirement; inert without --ckpt-*).
+  install_checkpoint_signal_handler();
   const bool small = bench::small_run();
   const index_t n = small ? 128 : 512;
   // Base 8: C-GEP touches five matrices per box, so the recursion must
@@ -183,8 +206,10 @@ int main(int argc, char** argv) {
   // legs must produce identical results (invoke() barriers keep stages'
   // X tiles disjoint).
   {
-    bench::BenchReport report(
-        fault_rate > 0 ? "fig7_outofcore_faults" : "fig7_outofcore", peak);
+    bench::BenchReport report(fault_rate > 0 ? "fig7_outofcore_faults"
+                              : ckpt_on      ? "fig7_outofcore_ckpt"
+                                             : "fig7_outofcore",
+                              peak);
     RobustOptions robust;
     if (fault_rate > 0) {
       robust.faults.seed = 42;
@@ -327,6 +352,131 @@ int main(int argc, char** argv) {
     leg("typed parallel", true, false);
     leg("typed parallel+prefetch", true, true);
     leg("typed dag+prefetch", true, true, /*dag=*/true);
+    // --- checkpointed leg (--ckpt-every / --ckpt-interval) --------------
+    // Same job as "typed sync seq" with crash-consistent snapshots cut by
+    // the requested triggers; SIGTERM/SIGINT checkpoints before exiting
+    // and SIGUSR2 checkpoints-and-continues. The snapshot chain lands in
+    // fig7_ckpt_snapshots/ for gep_ckpt_inspect.
+    if (ckpt_on) {
+      const std::string ckdir = "fig7_ckpt_snapshots";
+      ::mkdir(ckdir.c_str(), 0755);
+      auto clear_dir = [&ckdir] {
+        DIR* d = ::opendir(ckdir.c_str());
+        if (d == nullptr) return;
+        for (struct dirent* e = ::readdir(d); e != nullptr;
+             e = ::readdir(d)) {
+          const std::string nm = e->d_name;
+          if (nm != "." && nm != "..") ::unlink((ckdir + "/" + nm).c_str());
+        }
+        ::closedir(d);
+      };
+      PageCache cache(M, B, disk, robust);
+      OocTiledMatrix<double> m(cache, n, n);
+      m.load(init);
+      cache.reset_stats();
+      std::unique_ptr<CheckpointCoordinator> ck;
+      auto make_coordinator = [&] {
+        CheckpointOptions co;
+        co.dir = ckdir;
+        co.job_id = 0xF1670001;
+        co.every_n_leaves = ckpt_every;
+        co.interval_sec = ckpt_interval;
+        ck = std::make_unique<CheckpointCoordinator>(cache, co);
+        ck->add_matrix(m.file_id(), static_cast<std::uint64_t>(n),
+                       static_cast<std::uint64_t>(n),
+                       static_cast<std::uint64_t>(m.tile_side()),
+                       sizeof(double), m.file_pages());
+      };
+      // A chain left behind by a SIGTERMed previous invocation resumes
+      // here: pages + frontier replay before the timed pass, which then
+      // only runs the remainder (and keeps appending to the chain). A
+      // complete or invalid chain is discarded and the pass runs fresh —
+      // probed via load_chain (validate-only), because resume() installs
+      // pages and re-running FW over its own min-plus closure is not
+      // bit-stable in floating point.
+      bool resumed = false;
+      make_coordinator();
+      ck->bind(DagProblem::FloydWarshall, n, m.tile_side(), false);
+      try {
+        const auto chain = load_chain(ckdir, 0xF1670001ULL);
+        if (!chain.empty() &&
+            chain.back().header.done_count < chain.back().header.task_count) {
+          resumed = ck->resume();
+        }
+      } catch (const CheckpointError& e) {
+        std::fprintf(stderr, "[fig7] stale checkpoint chain rejected: %s\n",
+                     e.what());
+      }
+      if (resumed) {
+        std::fprintf(stderr,
+                     "[fig7] resumed job %llx: %llu/%llu leaves done\n",
+                     0xF1670001ULL,
+                     static_cast<unsigned long long>(ck->done_leaves()),
+                     static_cast<unsigned long long>(ck->task_count()));
+      }
+      const bool resumed_this_run = resumed;
+      double dt = 0;
+      try {
+        dt = report.timed("typed sync seq+ckpt", n, bench::flops_fw(n), [&] {
+          // Fresh coordinator + chain per pass (except a resumed first
+          // pass): a stale tail from the previous pass would break the
+          // chain's seq contiguity.
+          if (!resumed) {
+            clear_dir();
+            make_coordinator();
+          }
+          resumed = false;
+          SeqInvoker inv;
+          OocTypedOptions o;
+          o.ckpt = ck.get();
+          ooc_igep_floyd_warshall(m, inv, o);
+        });
+      } catch (const obs::JobCancelled&) {
+        // Checkpoint-then-exit: flush write-behind, cut a final snapshot
+        // at the quiesced point, then leave with the interrupt status —
+        // the chain in fig7_ckpt_snapshots/ resumes the job.
+        std::fprintf(stderr,
+                     "\n[fig7] cancelled by signal; checkpointing before "
+                     "exit\n");
+        cache.flush();
+        if (ck != nullptr) ck->checkpoint_now();
+        obs::flight::dump_default();
+        std::exit(130);
+      }
+      const CheckpointStats cs = ck->stats();
+      report.annotate("ckpt_resumed", resumed_this_run ? 1.0 : 0.0);
+      report.annotate("ckpt_every_n_leaves", static_cast<double>(ckpt_every));
+      report.annotate("ckpt_interval_sec", ckpt_interval);
+      report.annotate("ckpt_count", static_cast<double>(cs.count));
+      report.annotate("ckpt_skipped", static_cast<double>(cs.skipped));
+      report.annotate("ckpt_failed", static_cast<double>(cs.failed));
+      report.annotate("ckpt_bytes", static_cast<double>(cs.bytes));
+      report.annotate("ckpt_pages", static_cast<double>(cs.pages));
+      report.annotate("ckpt_wall_seconds", cs.wall_seconds);
+      report.annotate("ckpt_overhead_fraction",
+                      dt > 0 ? cs.wall_seconds / dt : 0.0);
+      td.add_row({"typed sync seq+ckpt", Table::num(dt, 3),
+                  Table::num(cache.stats().io_wait_seconds, 2),
+                  Table::integer(static_cast<long long>(cache.stats().io())),
+                  Table::integer(0), Table::num(0.0, 3)});
+      Matrix<double> out = m.to_matrix();
+      for (index_t i = 0; i < n; ++i)
+        for (index_t j = 0; j < n; ++j)
+          if (out(i, j) != ref(i, j)) {
+            std::fprintf(stderr,
+                         "FAIL: checkpointed leg differs from sequential "
+                         "at (%lld,%lld)\n",
+                         static_cast<long long>(i),
+                         static_cast<long long>(j));
+            std::exit(1);
+          }
+      std::printf("checkpoints: %llu cut, %llu skipped, %.1f KB, %.3fs "
+                  "(%.1f%% of leg wall)\n",
+                  static_cast<unsigned long long>(cs.count),
+                  static_cast<unsigned long long>(cs.skipped),
+                  cs.bytes / 1e3, cs.wall_seconds,
+                  dt > 0 ? 100.0 * cs.wall_seconds / dt : 0.0);
+    }
     // Second problem size for the I/O-bound accountant: same B, M kept
     // at n²/2, so measured/predicted should be size-independent (the CI
     // bench-smoke gate checks the two ratios agree within ±25%).

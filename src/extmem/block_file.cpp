@@ -64,6 +64,19 @@ void BlockFile::read_page(std::uint64_t page, void* buf) {
   }
 }
 
+void BlockFile::sync() {
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  while (::fdatasync(fd_) != 0) {
+    if (errno == EINTR) continue;
+    // A failed fdatasync means previously "written" pages may not be on
+    // the device; a retry cannot recover what the kernel already
+    // dropped, so this is never transient.
+    throw IoError(IoError::Op::Write, 0, errno, /*transient=*/false,
+                  std::string("BlockFile: fdatasync failed: ") +
+                      std::strerror(errno));
+  }
+}
+
 void BlockFile::write_page(std::uint64_t page, const void* buf) {
   pages_written_.fetch_add(1, std::memory_order_relaxed);
   const off_t off = static_cast<off_t>(page * page_bytes_);

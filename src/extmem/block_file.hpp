@@ -33,7 +33,13 @@ class BlockFile final : public BlockStore {
   void read_page(std::uint64_t page, void* buf) override;
   void write_page(std::uint64_t page, const void* buf) override;
 
+  // fdatasync (EINTR-retried); failures raise a non-transient IoError.
+  void sync() override;
+
   std::uint64_t page_bytes() const override { return page_bytes_; }
+  std::uint64_t syncs() const {
+    return syncs_.load(std::memory_order_relaxed);
+  }
   std::uint64_t pages_read() const {
     return pages_read_.load(std::memory_order_relaxed);
   }
@@ -46,6 +52,7 @@ class BlockFile final : public BlockStore {
   std::uint64_t page_bytes_;
   std::atomic<std::uint64_t> pages_read_{0};
   std::atomic<std::uint64_t> pages_written_{0};
+  std::atomic<std::uint64_t> syncs_{0};
 };
 
 }  // namespace gep

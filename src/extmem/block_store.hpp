@@ -72,6 +72,14 @@ class BlockStore {
   virtual void read_page(std::uint64_t page, void* buf) = 0;
   virtual void write_page(std::uint64_t page, const void* buf) = 0;
 
+  // Makes every completed write durable (fdatasync for real files).
+  // Layered stores must order the sync DATA-FIRST: RobustStore syncs the
+  // inner store before persisting its CRC sidecar, so a crash between
+  // the two strands a synced page behind a stale checksum — never a
+  // stale page behind a fresh checksum (docs/ROBUSTNESS.md). Default is
+  // a no-op for purely in-memory stores.
+  virtual void sync() {}
+
   virtual std::uint64_t page_bytes() const = 0;
 };
 

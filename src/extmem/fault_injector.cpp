@@ -18,6 +18,7 @@ struct InjectorObs {
   obs::Counter torn_writes = obs::counter("robust.injected.torn_writes");
   obs::Counter bitflips = obs::counter("robust.injected.bitflips");
   obs::Counter latency = obs::counter("robust.injected.latency_spikes");
+  obs::Counter kills = obs::counter("robust.injected.kills");
 };
 InjectorObs& injector_obs() {
   static InjectorObs o;
@@ -73,6 +74,10 @@ void FaultInjector::read_page(std::uint64_t page, void* buf) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.ops;
+    if (killed_) {
+      throw_injected(IoError::Op::Read, page, /*transient=*/false,
+                     "read on crashed store");
+    }
     maybe_latency_spike();
     if (hard_read_.count(page) != 0) {
       ++stats_.read_errors;
@@ -101,27 +106,54 @@ void FaultInjector::read_page(std::uint64_t page, void* buf) {
 
 void FaultInjector::write_page(std::uint64_t page, const void* buf) {
   bool torn = false;
+  bool kill_now = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.ops;
+    if (killed_) {
+      throw_injected(IoError::Op::Write, page, /*transient=*/false,
+                     "write on crashed store");
+    }
+    ++writes_seen_;
+    if (cfg_.kill_after_writes > 0 &&
+        writes_seen_ >= cfg_.kill_after_writes) {
+      killed_ = true;
+      kill_now = true;
+      ++stats_.kills;
+      injector_obs().kills.inc();
+    }
     maybe_latency_spike();
-    if (hard_write_.count(page) != 0) {
+    if (!kill_now && hard_write_.count(page) != 0) {
       ++stats_.write_errors;
       injector_obs().write_errors.inc();
       throw_injected(IoError::Op::Write, page, /*transient=*/false,
                      "hard write error");
     }
-    if (take_burst_failure(page, /*is_write=*/true, cfg_.p_write_error)) {
+    if (!kill_now &&
+        take_burst_failure(page, /*is_write=*/true, cfg_.p_write_error)) {
       ++stats_.write_errors;
       injector_obs().write_errors.inc();
       throw_injected(IoError::Op::Write, page, /*transient=*/true,
                      "write error");
     }
-    if (draw(cfg_.p_torn_write)) {
+    if (!kill_now && draw(cfg_.p_torn_write)) {
       torn = true;
       ++stats_.torn_writes;
       injector_obs().torn_writes.inc();
     }
+  }
+  if (kill_now) {
+    // The crash interrupts this very write: half the page lands (like
+    // the torn-write path) and the store is dead from here on. Unlike a
+    // torn write the error is NON-transient — a crashed process does not
+    // come back because the layer above retries.
+    const std::uint64_t pb = inner_->page_bytes();
+    std::vector<char> partial(pb);
+    inner_->read_page(page, partial.data());
+    std::memcpy(partial.data(), buf, pb / 2);
+    inner_->write_page(page, partial.data());
+    throw_injected(IoError::Op::Write, page, /*transient=*/false,
+                   "crash (kill_after_writes)");
   }
   if (torn) {
     // Half the page reaches the device, then the "power fails": the
@@ -163,9 +195,27 @@ void FaultInjector::corrupt_stored_page(std::uint64_t page,
   inner_->write_page(page, buf.data());
 }
 
+void FaultInjector::sync() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (killed_) {
+      throw_injected(IoError::Op::Write, 0, /*transient=*/false,
+                     "sync on crashed store");
+    }
+  }
+  inner_->sync();
+}
+
+bool FaultInjector::killed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return killed_;
+}
+
 FaultInjectorStats FaultInjector::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  FaultInjectorStats s = stats_;
+  s.writes_seen = writes_seen_;
+  return s;
 }
 
 }  // namespace gep

@@ -39,13 +39,21 @@ struct FaultConfig {
   // than the retry budget turns a probabilistic fault into a hard one.
   int error_burst = 1;
 
+  // Deterministic crash: the Nth block-store write (counted across all
+  // pages) performs a torn half-write and then this store "dies" — that
+  // write and every subsequent read/write/sync raises a NON-transient
+  // IoError, so RobustStore's retry budget cannot paper over it. Models
+  // kill -9 at a reproducible point for checkpoint/restart tests.
+  // 0 disables.
+  std::uint64_t kill_after_writes = 0;
+
   // Install the injector even with all probabilities zero (tests that
   // only use set_hard_fault / corrupt_stored_page).
   bool install = false;
 
   bool any() const {
     return p_read_error > 0 || p_write_error > 0 || p_torn_write > 0 ||
-           p_bitflip_read > 0 || p_latency > 0;
+           p_bitflip_read > 0 || p_latency > 0 || kill_after_writes > 0;
   }
   bool enabled() const { return install || any(); }
 };
@@ -57,10 +65,12 @@ struct FaultInjectorStats {
   std::uint64_t torn_writes = 0;
   std::uint64_t bitflips = 0;
   std::uint64_t latency_spikes = 0;
+  std::uint64_t kills = 0;  // 0 or 1: kill_after_writes fired
+  std::uint64_t writes_seen = 0;  // write_page calls (calibrates kills)
 
   std::uint64_t injected() const {
     return read_errors + write_errors + torn_writes + bitflips +
-           latency_spikes;
+           latency_spikes + kills;
   }
 };
 
@@ -70,7 +80,12 @@ class FaultInjector final : public BlockStore {
 
   void read_page(std::uint64_t page, void* buf) override;
   void write_page(std::uint64_t page, const void* buf) override;
+  void sync() override;  // fails after the kill fired, else forwards
   std::uint64_t page_bytes() const override { return inner_->page_bytes(); }
+
+  // True once kill_after_writes has fired; the store is dead from the
+  // caller's point of view.
+  bool killed() const;
 
   // Marks `page` to fail with EIO on every read and/or write until
   // clear_hard_faults(); models an unreadable sector.
@@ -96,6 +111,8 @@ class FaultInjector final : public BlockStore {
   // (page << 1 | is_write) -> remaining failures of the current burst.
   std::unordered_map<std::uint64_t, int> burst_;
   std::unordered_set<std::uint64_t> hard_read_, hard_write_;
+  std::uint64_t writes_seen_ = 0;  // for kill_after_writes
+  bool killed_ = false;
   FaultInjectorStats stats_;
 };
 

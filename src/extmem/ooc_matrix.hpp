@@ -23,15 +23,17 @@ class OocMatrix {
       : cache_(&cache), rows_(rows), cols_(cols),
         elems_per_page_(static_cast<index_t>(cache.page_bytes() / sizeof(T))) {
     assert(elems_per_page_ > 0);
-    const std::uint64_t pages =
-        (static_cast<std::uint64_t>(rows * cols) +
-         static_cast<std::uint64_t>(elems_per_page_) - 1) /
-        static_cast<std::uint64_t>(elems_per_page_);
-    file_id_ = cache.register_file(pages);
+    pages_ = (static_cast<std::uint64_t>(rows * cols) +
+              static_cast<std::uint64_t>(elems_per_page_) - 1) /
+             static_cast<std::uint64_t>(elems_per_page_);
+    file_id_ = cache.register_file(pages_);
   }
 
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
+  // Checkpoint identity: which cache file backs this matrix, how big.
+  int file_id() const { return file_id_; }
+  std::uint64_t file_pages() const { return pages_; }
   index_t n() const {
     assert(rows_ == cols_);
     return rows_;
@@ -88,6 +90,7 @@ class OocMatrix {
   index_t cols_;
   index_t elems_per_page_;
   int file_id_;
+  std::uint64_t pages_ = 0;
   mutable T* memo_ptr_ = nullptr;
   mutable index_t memo_page_ = -1;
   mutable std::uint64_t memo_epoch_ = ~0ULL;
@@ -125,11 +128,15 @@ class OocTiledMatrix {
     tiles_per_row_ = (cols_ + ts_ - 1) / ts_;
     const index_t tile_rows = (rows_ + ts_ - 1) / ts_;
     const index_t tiles = tile_rows * tiles_per_row_;
-    file_id_ = cache.register_file(static_cast<std::uint64_t>(
-        (tiles + tiles_per_page_ - 1) / tiles_per_page_));
+    pages_ = static_cast<std::uint64_t>(
+        (tiles + tiles_per_page_ - 1) / tiles_per_page_);
+    file_id_ = cache.register_file(pages_);
   }
 
   index_t rows() const { return rows_; }
+  // Checkpoint identity: which cache file backs this matrix, how big.
+  int file_id() const { return file_id_; }
+  std::uint64_t file_pages() const { return pages_; }
   index_t cols() const { return cols_; }
   index_t tile_side() const { return ts_; }
 
@@ -212,6 +219,7 @@ class OocTiledMatrix {
   index_t tiles_per_row_ = 0;
   index_t tiles_per_page_ = 1;
   int file_id_;
+  std::uint64_t pages_ = 0;
   mutable T* memo_ptr_ = nullptr;
   mutable index_t memo_page_ = -1;
   mutable std::uint64_t memo_epoch_ = ~0ULL;

@@ -31,6 +31,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "extmem/checkpoint.hpp"
 #include "extmem/ooc_matrix.hpp"
 #include "gep/typed.hpp"
 #include "parallel/task_graph.hpp"
@@ -48,6 +49,11 @@ struct OocTypedOptions {
   // lands in the write-pinned diagonal tile, so it persists to disk and
   // every later reader sees it. Null = unguarded (the paper's kernel).
   const PivotGuard* lu_guard = nullptr;
+  // Checkpoint/restart coordinator (extmem/checkpoint.hpp). The driver
+  // binds it to this job's task graph at entry; leaves the coordinator's
+  // frontier already covers are skipped (resume), and every executed
+  // leaf is bracketed so snapshots cut at whole-leaf boundaries.
+  CheckpointCoordinator* ckpt = nullptr;
 };
 
 namespace detail {
@@ -105,6 +111,34 @@ class PrefetchDeduper {
   obs::Counter suppressed_ = obs::counter("extmem.prefetch.hints_deduped");
 };
 
+// Brackets one fork-join leaf under an optional checkpoint coordinator:
+// leaves the resumed frontier already covers are skipped outright, and
+// the enter/exit pair lets a pending snapshot quiesce at a whole-leaf
+// boundary. A JobCancelled unwind before the body touched its blocks is
+// a clean cancel; any other exception means a half-applied leaf, which
+// poisons further snapshots (leaf_abort).
+template <class Body>
+inline void ckpt_leaf(CheckpointCoordinator* ck, index_t i0, index_t j0,
+                      index_t k0, Body&& body) {
+  if (ck == nullptr) {
+    body();
+    return;
+  }
+  const int id = ck->task_id(i0, j0, k0);
+  if (ck->is_done(id)) return;
+  ck->leaf_enter();
+  try {
+    body();
+  } catch (const obs::JobCancelled&) {
+    ck->leaf_cancel();
+    throw;
+  } catch (...) {
+    ck->leaf_abort();
+    throw;
+  }
+  ck->leaf_exit(id);
+}
+
 }  // namespace detail
 
 // Out-of-core Floyd-Warshall at block granularity (base = tile side).
@@ -114,14 +148,18 @@ void ooc_igep_floyd_warshall(OocTiledMatrix<T>& m, Inv& inv,
   detail::check_ooc_typed(m);
   const index_t n = m.rows();
   const index_t bs = m.tile_side();
+  CheckpointCoordinator* ck = opts.ckpt;
+  if (ck != nullptr) ck->bind(DagProblem::FloydWarshall, n, bs, false);
   auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm, BoxKind) {
     // Cooperative SIGINT/SIGTERM: unwind before pinning so the bench can
     // flush write-behind instead of dying mid-update.
     obs::throw_if_stop_requested();
-    auto x = m.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
-    auto u = m.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
-    auto v = m.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
-    kernel_fw(x.ptr, u.ptr, v.ptr, mm, bs, bs, bs);
+    detail::ckpt_leaf(ck, i0, j0, k0, [&] {
+      auto x = m.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
+      auto u = m.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
+      auto v = m.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
+      kernel_fw(x.ptr, u.ptr, v.ptr, mm, bs, bs, bs);
+    });
   };
   auto prune = [](index_t, index_t, index_t, index_t) { return false; };
   if (opts.prefetch) {
@@ -151,21 +189,27 @@ void ooc_igep_lu(OocTiledMatrix<T>& m, Inv& inv, OocTypedOptions opts = {}) {
   detail::check_ooc_typed(m);
   const index_t n = m.rows();
   const index_t bs = m.tile_side();
+  CheckpointCoordinator* ck = opts.ckpt;
+  if (ck != nullptr) {
+    ck->bind(DagProblem::LU, n, bs, opts.lu_guard != nullptr);
+  }
   auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm,
                   BoxKind kind) {
     obs::throw_if_stop_requested();
-    auto x = m.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
-    auto u = m.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
-    auto v = m.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
-    auto w = m.pin_tile(k0 / bs, k0 / bs, /*for_write=*/false);
-    const bool di = (kind == BoxKind::A || kind == BoxKind::B);
-    const bool dj = (kind == BoxKind::A || kind == BoxKind::C);
-    if (opts.lu_guard != nullptr) {
-      kernel_lu_guarded(x.ptr, u.ptr, v.ptr, w.ptr, mm, bs, bs, bs, bs, di,
-                        dj, *opts.lu_guard, k0);
-    } else {
-      kernel_lu(x.ptr, u.ptr, v.ptr, w.ptr, mm, bs, bs, bs, bs, di, dj);
-    }
+    detail::ckpt_leaf(ck, i0, j0, k0, [&] {
+      auto x = m.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
+      auto u = m.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
+      auto v = m.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
+      auto w = m.pin_tile(k0 / bs, k0 / bs, /*for_write=*/false);
+      const bool di = (kind == BoxKind::A || kind == BoxKind::B);
+      const bool dj = (kind == BoxKind::A || kind == BoxKind::C);
+      if (opts.lu_guard != nullptr) {
+        kernel_lu_guarded(x.ptr, u.ptr, v.ptr, w.ptr, mm, bs, bs, bs, bs, di,
+                          dj, *opts.lu_guard, k0);
+      } else {
+        kernel_lu(x.ptr, u.ptr, v.ptr, w.ptr, mm, bs, bs, bs, bs, di, dj);
+      }
+    });
   };
   auto prune = [](index_t i0, index_t j0, index_t k0, index_t) {
     return i0 < k0 || j0 < k0;
@@ -203,12 +247,16 @@ void ooc_igep_matmul(OocTiledMatrix<T>& c, OocTiledMatrix<T>& a,
       b.tile_side() != bs) {
     throw std::invalid_argument("ooc matmul: shapes/tiles must match");
   }
+  CheckpointCoordinator* ck = opts.ckpt;
+  if (ck != nullptr) ck->bind(DagProblem::MatMul, n, bs, false);
   auto leaf = [&](index_t i0, index_t j0, index_t k0, index_t mm) {
     obs::throw_if_stop_requested();
-    auto x = c.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
-    auto u = a.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
-    auto v = b.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
-    kernel_mm(x.ptr, u.ptr, v.ptr, mm, bs, bs, bs);
+    detail::ckpt_leaf(ck, i0, j0, k0, [&] {
+      auto x = c.pin_tile(i0 / bs, j0 / bs, /*for_write=*/true);
+      auto u = a.pin_tile(i0 / bs, k0 / bs, /*for_write=*/false);
+      auto v = b.pin_tile(k0 / bs, j0 / bs, /*for_write=*/false);
+      kernel_mm(x.ptr, u.ptr, v.ptr, mm, bs, bs, bs);
+    });
   };
   if (opts.prefetch) {
     detail::PrefetchDeduper dedupe;
@@ -245,6 +293,10 @@ struct OocDagOptions {
   bool prefetch = true;
   // Same pivot-guard contract as OocTypedOptions::lu_guard.
   const PivotGuard* lu_guard = nullptr;
+  // Same checkpoint contract as OocTypedOptions::ckpt: the driver binds
+  // it and hands it to the DAG runtime, which skips retired tasks when
+  // seeding (resume) and brackets every leaf for quiesce.
+  CheckpointCoordinator* ckpt = nullptr;
 };
 
 template <class T>
@@ -257,6 +309,10 @@ void ooc_igep_floyd_warshall_dag(OocTiledMatrix<T>& m, WorkStealingPool* pool,
   TaskGraph g = build_typed_task_graph(DagProblem::FloydWarshall, n, bs);
   detail::PrefetchDeduper dedupe;
   TaskRuntimeOptions ro;
+  if (opts.ckpt != nullptr) {
+    opts.ckpt->bind(DagProblem::FloydWarshall, n, bs, false);
+    ro.ckpt = opts.ckpt;
+  }
   if (opts.prefetch && opts.lookahead > 0) {
     ro.lookahead = opts.lookahead;
     ro.prefetch = [&m, &dedupe, bs](const BlockTask& t) {
@@ -285,6 +341,10 @@ void ooc_igep_lu_dag(OocTiledMatrix<T>& m, WorkStealingPool* pool,
   TaskGraph g = build_typed_task_graph(DagProblem::LU, n, bs);
   detail::PrefetchDeduper dedupe;
   TaskRuntimeOptions ro;
+  if (opts.ckpt != nullptr) {
+    opts.ckpt->bind(DagProblem::LU, n, bs, opts.lu_guard != nullptr);
+    ro.ckpt = opts.ckpt;
+  }
   if (opts.prefetch && opts.lookahead > 0) {
     ro.lookahead = opts.lookahead;
     ro.prefetch = [&m, &dedupe, bs](const BlockTask& t) {
@@ -330,6 +390,10 @@ void ooc_igep_matmul_dag(OocTiledMatrix<T>& c, OocTiledMatrix<T>& a,
   TaskGraph g = build_typed_task_graph(DagProblem::MatMul, n, bs);
   detail::PrefetchDeduper dedupe;
   TaskRuntimeOptions ro;
+  if (opts.ckpt != nullptr) {
+    opts.ckpt->bind(DagProblem::MatMul, n, bs, false);
+    ro.ckpt = opts.ckpt;
+  }
   if (opts.prefetch && opts.lookahead > 0) {
     ro.lookahead = opts.lookahead;
     ro.prefetch = [&c, &a, &b, &dedupe, bs](const BlockTask& t) {

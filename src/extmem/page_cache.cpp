@@ -1,5 +1,6 @@
 #include "extmem/page_cache.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstring>
@@ -108,7 +109,14 @@ int PageCache::register_file(std::uint64_t pages) {
   injector_views_.push_back(inj);
   files_.push_back(std::move(rs));
   bounds_.push_back(pages < kMaxPages ? pages : kMaxPages);
+  changed_.emplace_back();
   return id;
+}
+
+void PageCache::note_write(int file_id, std::uint64_t page) {
+  ChangeSet& cs = changed_[static_cast<std::size_t>(file_id)];
+  cs.total.insert(page);
+  cs.since.insert(page);
 }
 
 FaultInjector* PageCache::fault_injector(int file_id) const {
@@ -231,7 +239,10 @@ std::size_t PageCache::resident_frame(std::unique_lock<std::mutex>& lock,
       page_cache_obs().prefetch_hits.inc();
     }
     touch_lru(it->second);
-    if (for_write) fr.dirty = true;
+    if (for_write) {
+      fr.dirty = true;
+      note_write(file_id, page);
+    }
     return it->second;
   }
   // Fault: repurpose the least-recently-used unlocked frame.
@@ -328,6 +339,7 @@ std::size_t PageCache::resident_frame(std::unique_lock<std::mutex>& lock,
   fr.key = key;
   fr.valid = true;
   fr.dirty = !is_prefetch && for_write;
+  if (fr.dirty) note_write(file_id, page);
   fr.prefetched = is_prefetch;
   fr.io_busy = false;
   --io_in_flight_;
@@ -547,6 +559,89 @@ void PageCache::flush() {
       add_double(st.io_wait, model_.io_seconds(page_bytes_));
       fr.dirty = false;
     }
+  }
+  // Everything written back; now make it durable. Waiting out any
+  // worker-initiated I/O first keeps the sync ordered after every write
+  // the stores have been handed.
+  while (io_in_flight_ > 0) io_cv_.wait(lock);
+  for (auto& f : files_) f->sync();
+}
+
+void PageCache::sync_files() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& f : files_) f->sync();
+}
+
+std::vector<std::uint64_t> PageCache::changed_pages(int file_id,
+                                                    bool since_mark) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_id < 0 ||
+      static_cast<std::size_t>(file_id) >= changed_.size()) {
+    throw std::out_of_range("PageCache: unregistered file id");
+  }
+  const ChangeSet& cs = changed_[static_cast<std::size_t>(file_id)];
+  const auto& src = since_mark ? cs.since : cs.total;
+  std::vector<std::uint64_t> out(src.begin(), src.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void PageCache::clear_changed_mark(int file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_id < 0 ||
+      static_cast<std::size_t>(file_id) >= changed_.size()) {
+    throw std::out_of_range("PageCache: unregistered file id");
+  }
+  changed_[static_cast<std::size_t>(file_id)].since.clear();
+}
+
+void PageCache::read_page_snapshot(int file_id, std::uint64_t page,
+                                   void* buf) {
+  std::unique_lock<std::mutex> lock(mu_);
+  check_key(file_id, page);
+  const std::uint64_t key = make_key(file_id, page);
+  for (;;) {
+    auto it = table_.find(key);
+    if (it == table_.end()) break;
+    Frame& fr = frames_[it->second];
+    if (fr.io_busy) {
+      io_cv_.wait(lock);
+      continue;  // re-lookup: the mapping may have changed
+    }
+    if (fr.valid) {
+      std::memcpy(buf, pool_.get() + it->second * page_bytes_, page_bytes_);
+      return;
+    }
+    break;
+  }
+  // Not resident: read the store directly. mu_ stays held — checkpoints
+  // run quiesced and are rare, so blocking the cache briefly is cheaper
+  // than an io_busy dance for a page nobody is racing us for.
+  files_[static_cast<std::size_t>(file_id)]->read_page(page, buf);
+}
+
+void PageCache::install_page(int file_id, std::uint64_t page,
+                             const void* buf) {
+  std::unique_lock<std::mutex> lock(mu_);
+  check_key(file_id, page);
+  // Through the full stack: RobustStore recomputes the page's checksum,
+  // so replayed pages validate on every later read.
+  files_[static_cast<std::size_t>(file_id)]->write_page(page, buf);
+  note_write(file_id, page);
+  const std::uint64_t key = make_key(file_id, page);
+  for (;;) {
+    auto it = table_.find(key);
+    if (it == table_.end()) return;
+    Frame& fr = frames_[it->second];
+    if (fr.io_busy) {
+      io_cv_.wait(lock);
+      continue;  // re-lookup: the mapping may have changed
+    }
+    if (fr.valid) {
+      std::memcpy(pool_.get() + it->second * page_bytes_, buf, page_bytes_);
+      fr.dirty = false;  // frame now matches the store
+    }
+    return;
   }
 }
 

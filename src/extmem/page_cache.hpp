@@ -37,6 +37,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "extmem/block_file.hpp"
@@ -198,8 +199,40 @@ class PageCache {
   // Current depth of the prefetch queue (diagnostics).
   std::size_t prefetch_queue_depth() const;
 
-  // Write back all dirty frames (counts as foreground I/O).
+  // Write back all dirty frames (counts as foreground I/O), then sync
+  // every backing store (data before CRC sidecar — see BlockStore::sync)
+  // so the flushed state survives a crash. The post-flush sync is what
+  // makes a checkpoint's "all pages durable" claim true.
   void flush();
+
+  // Syncs every backing store without flushing (pages already written
+  // back become durable; dirty resident frames are NOT written).
+  void sync_files();
+
+  // --- checkpoint support (extmem/checkpoint.hpp) ---
+
+  // Pages of `file_id` ever written through the cache (since_mark=false)
+  // or written since the last clear_changed_mark (since_mark=true).
+  // Sorted ascending. A page counts as changed the moment a write pin
+  // touches its frame, so after flush() the union of changed pages is
+  // exactly the file's non-zero content.
+  std::vector<std::uint64_t> changed_pages(int file_id,
+                                           bool since_mark) const;
+
+  // Starts a new incremental epoch: subsequent changed_pages(id, true)
+  // reports only pages written after this call.
+  void clear_changed_mark(int file_id);
+
+  // Copies the page's CURRENT content into buf (page_bytes() bytes):
+  // from the resident frame when valid and not mid-I/O, else from the
+  // backing store. Thread-safe; intended to run quiesced (no concurrent
+  // writers to this page).
+  void read_page_snapshot(int file_id, std::uint64_t page, void* buf);
+
+  // Writes the page through the full store stack (so RobustStore
+  // recomputes its checksum), refreshes any resident frame, and records
+  // the page as changed (total set only). Resume-time page replay.
+  void install_page(int file_id, std::uint64_t page, const void* buf);
 
   // Monotonic counter bumped whenever any frame is repurposed; lets
   // callers revalidate cached frame pointers cheaply.
@@ -245,6 +278,14 @@ class PageCache {
     std::uint64_t page;
   };
 
+  // Per-file changed-page sets for checkpointing (guarded by mu_).
+  // `total` accumulates every page ever dirtied; `since` restarts at
+  // each clear_changed_mark() and feeds incremental snapshots.
+  struct ChangeSet {
+    std::unordered_set<std::uint64_t> total;
+    std::unordered_set<std::uint64_t> since;
+  };
+
   void unpin_frame(std::size_t frame);
   static std::uint64_t make_key(int file_id, std::uint64_t page) {
     return (static_cast<std::uint64_t>(file_id) << 40) | page;
@@ -257,6 +298,7 @@ class PageCache {
   // All four require mu_ held (resident_frame/pick_victim may drop and
   // reacquire it around disk transfers).
   void check_key(int file_id, std::uint64_t page) const;
+  void note_write(int file_id, std::uint64_t page);  // mu_ held
   std::size_t resident_frame(std::unique_lock<std::mutex>& lock, int file_id,
                              std::uint64_t page, bool for_write,
                              bool is_prefetch);
@@ -289,6 +331,7 @@ class PageCache {
   std::vector<RobustStore*> robust_views_;
   std::vector<FaultInjector*> injector_views_;
   std::vector<std::uint64_t> bounds_;  // per-file page-count bound
+  std::vector<ChangeSet> changed_;     // per-file, for checkpoints
   std::deque<PrefetchRequest> prefetch_q_;
   int io_in_flight_ = 0;        // frames with io_busy set
   bool worker_running_ = false;

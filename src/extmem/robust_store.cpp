@@ -1,9 +1,15 @@
 #include "extmem/robust_store.hpp"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
@@ -33,6 +39,72 @@ RobustStore::RobustStore(std::unique_ptr<BlockStore> inner,
       checksums_(checksums),
       rng_(backoff_seed) {
   if (retry_.max_attempts < 1) retry_.max_attempts = 1;
+}
+
+RobustStore::~RobustStore() {
+  if (sidecar_fd_ >= 0) ::close(sidecar_fd_);
+}
+
+void RobustStore::sync() {
+  // Data first: if this throws, the sidecar keeps its previous (older)
+  // snapshot and re-reads will re-validate the pages that did land.
+  inner_->sync();
+  if (!checksums_) return;
+
+  // Serialize the CRC table: u64 entry count, (u64 page, u32 crc) pairs,
+  // then a CRC32C of everything preceding it.
+  std::vector<unsigned char> blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t count = crc_.size();
+    blob.reserve(sizeof(count) + count * 12 + sizeof(std::uint32_t));
+    auto put = [&blob](const void* p, std::size_t n) {
+      const auto* b = static_cast<const unsigned char*>(p);
+      blob.insert(blob.end(), b, b + n);
+    };
+    put(&count, sizeof(count));
+    for (const auto& [page, sum] : crc_) {
+      put(&page, sizeof(page));
+      put(&sum, sizeof(sum));
+    }
+  }
+  const std::uint32_t table_crc = crc32c(blob.data(), blob.size());
+  blob.insert(blob.end(),
+              reinterpret_cast<const unsigned char*>(&table_crc),
+              reinterpret_cast<const unsigned char*>(&table_crc) +
+                  sizeof(table_crc));
+
+  if (sidecar_fd_ < 0) {
+    char tmpl[] = "/tmp/gep_crc_sidecar_XXXXXX";
+    sidecar_fd_ = ::mkstemp(tmpl);
+    if (sidecar_fd_ < 0) {
+      throw IoError(IoError::Op::Write, 0, errno, /*transient=*/false,
+                    std::string("RobustStore: sidecar mkstemp failed: ") +
+                        std::strerror(errno));
+    }
+    ::unlink(tmpl);  // anonymous, same lifetime as the data temp file
+  }
+  std::size_t put_off = 0;
+  while (put_off < blob.size()) {
+    ssize_t w = ::pwrite(sidecar_fd_, blob.data() + put_off,
+                         blob.size() - put_off,
+                         static_cast<off_t>(put_off));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(IoError::Op::Write, 0, errno, /*transient=*/false,
+                    std::string("RobustStore: sidecar pwrite failed: ") +
+                        std::strerror(errno));
+    }
+    put_off += static_cast<std::size_t>(w);
+  }
+  while (::fdatasync(sidecar_fd_) != 0) {
+    if (errno == EINTR) continue;
+    throw IoError(IoError::Op::Write, 0, errno, /*transient=*/false,
+                  std::string("RobustStore: sidecar fdatasync failed: ") +
+                      std::strerror(errno));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.sidecar_syncs;
 }
 
 void RobustStore::backoff(int attempt) {

@@ -38,6 +38,7 @@ struct RobustStoreStats {
   std::uint64_t crc_failures = 0;    // checksum mismatches observed
   std::uint64_t crc_recoveries = 0;  // mismatches cured by a re-read
   std::uint64_t hard_failures = 0;   // ops that exhausted the budget
+  std::uint64_t sidecar_syncs = 0;   // sidecar snapshots made durable
 };
 
 class RobustStore final : public BlockStore {
@@ -45,9 +46,21 @@ class RobustStore final : public BlockStore {
   RobustStore(std::unique_ptr<BlockStore> inner, RetryPolicy retry,
               bool checksums, std::uint64_t backoff_seed = 0x9E3779B9ULL);
 
+  ~RobustStore() override;
+
   void read_page(std::uint64_t page, void* buf) override;
   void write_page(std::uint64_t page, const void* buf) override;
   std::uint64_t page_bytes() const override { return inner_->page_bytes(); }
+
+  // Durability point, ordered data-first: (1) sync the inner store so
+  // every written page is on the device, then (2) serialize the CRC
+  // sidecar map (page count + (page, crc) pairs + table CRC32C) to its
+  // own unlinked temp file and fdatasync it. A crash between the two
+  // leaves valid pages behind a stale sidecar (re-validated as the pages
+  // are re-read), never the reverse — checkpoint durability depends on
+  // this ordering (docs/ROBUSTNESS.md). If the inner sync throws, the
+  // sidecar is NOT persisted.
+  void sync() override;
 
   RobustStoreStats stats() const;
   void reset_stats();
@@ -58,6 +71,7 @@ class RobustStore final : public BlockStore {
   std::unique_ptr<BlockStore> inner_;
   RetryPolicy retry_;
   bool checksums_;
+  int sidecar_fd_ = -1;  // lazily created on the first sync()
 
   mutable std::mutex mu_;  // sidecar map + stats + backoff rng
   std::unordered_map<std::uint64_t, std::uint32_t> crc_;

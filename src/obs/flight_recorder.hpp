@@ -109,6 +109,11 @@ enum Ev : unsigned {
   kTaskReady,      // payload: task id (entered the lookahead window)
   kTaskRun,        // payload: task id (started executing)
   kTaskRetire,     // payload: task id (finished; successors released)
+  // Checkpoint/restart (extmem/checkpoint.hpp). Appended for the same
+  // decode-stability reason as above.
+  kCkptBegin,      // payload: snapshot sequence number
+  kCkptEnd,        // payload: snapshot sequence number
+  kCkptSkipped,    // payload: reason (1 = unchanged, 2 = aborted leaf)
   kEvCount
 };
 
@@ -119,7 +124,7 @@ inline const char* ev_name(unsigned e) {
       "io_hard_fail",   "task_steal",  "task_park",  "task_wake",
       "rec_enter",      "rec_leave",   "guard_trip", "stall_detect",
       "signal",         "mark",        "task_ready", "task_run",
-      "task_retire"};
+      "task_retire",    "ckpt_begin",  "ckpt_end",   "ckpt_skipped"};
   return e < kEvCount ? names[e] : "?";
 }
 

@@ -227,18 +227,33 @@ struct DagExec {
         was_hinted[id].load(std::memory_order_relaxed)) {
       hints_out.fetch_sub(1, std::memory_order_relaxed);
     }
-    obs::flight::record(obs::flightfmt::kTaskRun,
-                        static_cast<std::uint64_t>(id));
-    const char kc = box_kind_char(t.kind);
-    obs::ScopedSpan span(kc, t.depth, t.i0, t.j0, t.k0, t.m);
-    obs::FlightRecScope frec(kc, t.depth, static_cast<std::uint64_t>(t.m));
-    bump_counters(t);
-    {
-      obs::ScopedLeafSample sample(kc, static_cast<long long>(t.m));
-      leaf(t);
+    // Quiesce gate: may block here while a snapshot is being cut. The
+    // leaf has not touched its blocks yet, so a JobCancelled unwinding
+    // from inside (leaf's own stop-poll) is a CLEAN cancel; any other
+    // exception mid-kernel leaves a half-updated block and poisons
+    // further snapshots (leaf_abort).
+    if (opts.ckpt != nullptr) opts.ckpt->leaf_enter();
+    try {
+      obs::flight::record(obs::flightfmt::kTaskRun,
+                          static_cast<std::uint64_t>(id));
+      const char kc = box_kind_char(t.kind);
+      obs::ScopedSpan span(kc, t.depth, t.i0, t.j0, t.k0, t.m);
+      obs::FlightRecScope frec(kc, t.depth, static_cast<std::uint64_t>(t.m));
+      bump_counters(t);
+      {
+        obs::ScopedLeafSample sample(kc, static_cast<long long>(t.m));
+        leaf(t);
+      }
+    } catch (const obs::JobCancelled&) {
+      if (opts.ckpt != nullptr) opts.ckpt->leaf_cancel();
+      throw;
+    } catch (...) {
+      if (opts.ckpt != nullptr) opts.ckpt->leaf_abort();
+      throw;
     }
     obs::flight::record(obs::flightfmt::kTaskRetire,
                         static_cast<std::uint64_t>(id));
+    if (opts.ckpt != nullptr) opts.ckpt->leaf_exit(id);
   }
 
   void submit(int id) {
@@ -303,9 +318,17 @@ void run_task_graph(const TaskGraph& g, WorkStealingPool* pool,
     DagExec ex(g, leaf, opts);
     int cursor = 0;
     for (int id = 0; id < n; ++id) {
+      // Resume path: tasks the checkpoint frontier already covers are
+      // skipped (their effects were replayed from the snapshot). Skipped
+      // tasks are not hinted either — their pages are not needed.
+      if (opts.ckpt != nullptr && opts.ckpt->is_done(id)) {
+        cursor = std::max(cursor, id + 1);
+        continue;
+      }
       if (ex.hinting()) {
         const int limit = std::min(n, id + 1 + opts.lookahead);
         for (; cursor < limit; ++cursor) {
+          if (opts.ckpt != nullptr && opts.ckpt->is_done(cursor)) continue;
           obs::flight::record(obs::flightfmt::kTaskReady,
                               static_cast<std::uint64_t>(cursor));
           obs::counter("parallel.dag.hints").inc();
@@ -326,12 +349,41 @@ void run_task_graph(const TaskGraph& g, WorkStealingPool* pool,
     ex.unmet[id].store(g.pred_count(id), std::memory_order_relaxed);
     ex.was_hinted[id].store(false, std::memory_order_relaxed);
   }
+  if (opts.ckpt != nullptr) {
+    // Resume path: the frontier is a dependence downset (every
+    // predecessor of a done task is done), so retiring the done set up
+    // front — decrement successors, never execute — leaves exactly the
+    // not-done tasks with their not-done predecessor counts.
+    for (int id = 0; id < n; ++id) {
+      if (!opts.ckpt->is_done(id)) continue;
+      for (int s : g.successors(id)) {
+        ex.unmet[s].fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
   WsTaskGroup group(pool);
   ex.group = &group;
   // initial_ready() is priority-descending; push ascending so the LIFO
   // pop order starts on the critical path.
-  const std::vector<int>& r0 = g.initial_ready();
-  for (auto it = r0.rbegin(); it != r0.rend(); ++it) ex.submit(*it);
+  if (opts.ckpt != nullptr) {
+    // The seeds are every not-done task whose predecessors are all done.
+    std::vector<int> r0;
+    for (int id = 0; id < n; ++id) {
+      if (opts.ckpt->is_done(id)) continue;
+      if (ex.unmet[id].load(std::memory_order_relaxed) == 0) {
+        r0.push_back(id);
+      }
+    }
+    if (r0.empty()) return;  // everything already done
+    std::sort(r0.begin(), r0.end(), [&g](int a, int b) {
+      const double pa = g.priority(a), pb = g.priority(b);
+      return pa != pb ? pa > pb : a < b;
+    });
+    for (auto it = r0.rbegin(); it != r0.rend(); ++it) ex.submit(*it);
+  } else {
+    const std::vector<int>& r0 = g.initial_ready();
+    for (auto it = r0.rbegin(); it != r0.rend(); ++it) ex.submit(*it);
+  }
   group.wait();
 }
 

@@ -129,6 +129,28 @@ class TaskGraph {
 // (X/U/V plus W for GE/LU; C/A/B for matmul) and dag_sim leaf costs.
 TaskGraph build_typed_task_graph(DagProblem prob, index_t n, index_t base);
 
+// Checkpoint/restart contract between the runtime and a coordinator
+// (extmem/checkpoint.hpp — declared here so parallel/ stays independent
+// of extmem/). The runtime calls, around every leaf it executes:
+//   is_done(id)  — skip the task entirely (completed before a resume);
+//   leaf_enter() — may block while a snapshot is being cut (quiesce);
+//   leaf_exit(id)— the leaf's effects are complete; marks the frontier
+//                  and may itself cut a snapshot;
+//   leaf_cancel()— the leaf was cancelled BEFORE mutating anything
+//                  (JobCancelled unwinds between enter and the kernel);
+//   leaf_abort() — the leaf died mid-kernel; its block is half-updated
+//                  and NO further snapshot may be taken.
+// All methods may be called from any worker thread.
+class TaskCheckpointHook {
+ public:
+  virtual ~TaskCheckpointHook() = default;
+  virtual bool is_done(int id) const = 0;
+  virtual void leaf_enter() = 0;
+  virtual void leaf_exit(int id) = 0;
+  virtual void leaf_cancel() noexcept = 0;
+  virtual void leaf_abort() noexcept = 0;
+};
+
 struct TaskRuntimeOptions {
   // Ready tasks announced to `prefetch` ahead of execution. 0 disables
   // the hook. The window is counted in TASKS (each OOC task pins up to
@@ -137,6 +159,10 @@ struct TaskRuntimeOptions {
   // Called once per task when it enters the lookahead window (ready, or
   // about to run in the sequential engine). May run on any thread.
   std::function<void(const BlockTask&)> prefetch;
+  // Optional checkpoint coordinator. Completed tasks (is_done) are
+  // skipped — the resume path — and every executed leaf is bracketed by
+  // leaf_enter/leaf_exit so snapshots only ever see whole-leaf states.
+  TaskCheckpointHook* ckpt = nullptr;
 };
 
 // Executes the DAG. With a pool of >= 2 threads, ready tasks run on the

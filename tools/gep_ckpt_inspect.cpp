@@ -1,0 +1,140 @@
+// Inspector for checkpoint snapshots (*.gepckpt).
+//
+//   gep_ckpt_inspect SNAP.gepckpt             # header + extent table
+//   gep_ckpt_inspect --chain DIR JOB_ID       # validate a whole chain
+//   gep_ckpt_inspect SNAP.gepckpt --extents   # full extent listing
+//
+// Every read goes through extmem/checkpoint.hpp's validating reader, so
+// the verdict printed here is exactly the one resume would reach: a
+// truncated, bit-flipped or chain-broken snapshot prints the
+// CheckpointError and exits 1 instead of pretending the file is fine.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "extmem/checkpoint.hpp"
+#include "parallel/dag_sim.hpp"
+
+namespace {
+
+const char* algo_name(std::uint32_t algo) {
+  switch (static_cast<gep::DagProblem>(algo)) {
+    case gep::DagProblem::FloydWarshall: return "floyd-warshall";
+    case gep::DagProblem::Gaussian: return "gaussian";
+    case gep::DagProblem::LU: return "lu";
+    case gep::DagProblem::MatMul: return "matmul";
+  }
+  return "unknown";
+}
+
+std::uint64_t frontier_popcount(const std::vector<std::uint8_t>& bits) {
+  std::uint64_t n = 0;
+  for (std::uint8_t b : bits) {
+    while (b != 0) {
+      n += b & 1u;
+      b = static_cast<std::uint8_t>(b >> 1);
+    }
+  }
+  return n;
+}
+
+void print_snapshot(const gep::SnapshotInfo& s, bool full_extents) {
+  const auto& h = s.header;
+  std::printf("%s\n", s.path.c_str());
+  std::printf("  schema v%u  job %016" PRIx64 "  seq %" PRIu64
+              "  parent_crc %08x  file_crc %08x\n",
+              h.version, h.job_id, h.seq, h.parent_crc, s.file_crc);
+  std::printf("  algo %s  n %" PRIu64 "  base %" PRIu64
+              "  options_hash %016" PRIx64 "\n",
+              algo_name(h.algo), h.n, h.base, h.options_hash);
+  std::printf("  elem %u B  page %" PRIu64 " B  matrices %u\n",
+              h.elem_bytes, h.page_bytes, h.n_mats);
+  for (std::size_t i = 0; i < s.mats.size(); ++i) {
+    const auto& m = s.mats[i];
+    std::printf("    mat %zu: %" PRIu64 "x%" PRIu64 "  tile %" PRIu64
+                "  pages %" PRIu64 "\n",
+                i, m.rows, m.cols, m.tile_side, m.pages);
+  }
+  std::printf("  frontier: %" PRIu64 "/%" PRIu64 " leaves done"
+              " (bitmap agrees: %s)\n",
+              h.done_count, h.task_count,
+              frontier_popcount(s.frontier) == h.done_count ? "yes" : "NO");
+  std::uint64_t pages = 0;
+  for (const auto& e : s.extents) pages += e.count;
+  std::printf("  extents: %" PRIu64 " (%" PRIu64 " pages, %" PRIu64
+              " payload bytes) — all payload CRCs verified\n",
+              h.extent_count, pages, pages * h.page_bytes);
+  if (full_extents) {
+    for (const auto& e : s.extents) {
+      std::printf("    mat %u pages [%" PRIu64 ", %" PRIu64
+                  ")  crc %08x\n",
+                  e.mat, e.start_page, e.start_page + e.count,
+                  e.payload_crc);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* snap_path = nullptr;
+  const char* chain_dir = nullptr;
+  std::uint64_t job_id = 0;
+  bool full_extents = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--chain") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "--chain needs DIR and JOB_ID\n");
+        return 2;
+      }
+      chain_dir = argv[++i];
+      job_id = std::strtoull(argv[++i], nullptr, 0);
+    } else if (a == "--extents") {
+      full_extents = true;
+    } else if (a == "-h" || a == "--help") {
+      std::printf(
+          "usage: %s SNAP.gepckpt [--extents]\n"
+          "       %s --chain DIR JOB_ID [--extents]\n"
+          "Validates and dumps checkpoint snapshots. Exit 0 = the file\n"
+          "(or chain) passed every checksum; 1 = corrupt/unusable.\n",
+          argv[0], argv[0]);
+      return 0;
+    } else if (snap_path == nullptr) {
+      snap_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", a.c_str());
+      return 2;
+    }
+  }
+  try {
+    if (chain_dir != nullptr) {
+      const auto chain = gep::load_chain(chain_dir, job_id);
+      if (chain.empty()) {
+        std::printf("no snapshots for job %016" PRIx64 " in %s\n", job_id,
+                    chain_dir);
+        return 0;
+      }
+      for (const auto& s : chain) print_snapshot(s, full_extents);
+      std::printf("chain OK: %zu snapshot(s), resumable at %" PRIu64
+                  "/%" PRIu64 " leaves\n",
+                  chain.size(), chain.back().header.done_count,
+                  chain.back().header.task_count);
+      return 0;
+    }
+    if (snap_path == nullptr) {
+      std::fprintf(stderr, "usage: %s SNAP.gepckpt | --chain DIR JOB_ID\n",
+                   argv[0]);
+      return 2;
+    }
+    const gep::SnapshotInfo s = gep::read_snapshot(snap_path, nullptr);
+    print_snapshot(s, full_extents);
+    return 0;
+  } catch (const gep::CheckpointError& e) {
+    std::fprintf(stderr, "REJECTED: %s\n", e.what());
+    return 1;
+  }
+}

@@ -146,6 +146,16 @@ std::string describe(std::uint64_t w) {
     case kMark:
       std::snprintf(buf, sizeof buf, "0x%" PRIx64, p);
       return buf;
+    case kCkptBegin:
+    case kCkptEnd:
+      std::snprintf(buf, sizeof buf, "seq %" PRIu64, p);
+      return buf;
+    case kCkptSkipped:
+      std::snprintf(buf, sizeof buf, "%s",
+                    p == 1 ? "unchanged since last snapshot"
+                           : p == 2 ? "aborted leaf poisoned job"
+                                    : "reason unknown");
+      return buf;
     default:
       std::snprintf(buf, sizeof buf, "payload 0x%" PRIx64, p);
       return buf;
