@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "matrix/matrix.hpp"
+#include "simd/strassen.hpp"
 
 namespace gep::apps {
 
@@ -41,6 +42,11 @@ struct RunOptions {
   index_t base_size = 64;
   int threads = 1;
   Runtime runtime = Runtime::Auto;
+  // Leaf-GEMM tuning (Strassen levels / crossover) for the engines that
+  // route D-kind leaves through the packed GEMM (IGep/IGepZ with large
+  // base_size, Blocked). Defaults inherit $GEP_STRASSEN_LEVELS /
+  // $GEP_STRASSEN_MIN_M; installed process-wide for the run's duration.
+  simd::GemmOptions gemm{};
 };
 
 // All-pairs shortest paths on a dense distance matrix (INF = +infinity

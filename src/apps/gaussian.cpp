@@ -73,6 +73,7 @@ void run_typed(Matrix<double>& m, const RunOptions& opts, TypedRun&& run) {
 
 void gaussian_eliminate(Matrix<double>& a, Engine engine, RunOptions opts) {
   if (a.rows() != a.cols()) throw std::invalid_argument("ge: square only");
+  simd::ScopedGemmOptions gemm_scope(opts.gemm);
   switch (engine) {
     case Engine::Iterative:
       ge_iterative(a.data(), a.rows());
@@ -137,6 +138,7 @@ void gaussian_eliminate(Matrix<double>& a, Engine engine, RunOptions opts) {
 
 void lu_decompose(Matrix<double>& a, Engine engine, RunOptions opts) {
   if (a.rows() != a.cols()) throw std::invalid_argument("lu: square only");
+  simd::ScopedGemmOptions gemm_scope(opts.gemm);
   switch (engine) {
     case Engine::Iterative:
       lu_iterative(a.data(), a.rows());

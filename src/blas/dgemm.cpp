@@ -6,6 +6,7 @@
 #include "simd/dispatch.hpp"
 #include "simd/kernels_avx2.hpp"
 #include "simd/microkernel.hpp"
+#include "simd/strassen.hpp"
 #include "util/aligned.hpp"
 
 namespace gep::blas {
@@ -78,6 +79,10 @@ void dgemm_blocked(index_t m, index_t n, index_t k, double alpha,
 
 void dgemm(index_t m, index_t n, index_t k, double alpha, const double* a,
            index_t lda, const double* b, index_t ldb, double* c, index_t ldc) {
+  // Strassen engages above the measured crossover (simd/strassen.hpp);
+  // below it — and in dgemm_blocked, which benches the explicit
+  // blocking — the classic packed path runs bit-identically to before.
+  if (simd::strassen_gemm(m, n, k, alpha, a, lda, b, ldb, c, ldc)) return;
   dgemm_blocked(m, n, k, alpha, a, lda, b, ldb, c, ldc, GemmBlocking{});
 }
 

@@ -35,6 +35,7 @@
 #include "extmem/ooc_matrix.hpp"
 #include "gep/typed.hpp"
 #include "parallel/task_graph.hpp"
+#include "simd/strassen.hpp"
 
 namespace gep {
 
@@ -54,6 +55,11 @@ struct OocTypedOptions {
   // frontier already covers are skipped (resume), and every executed
   // leaf is bracketed so snapshots cut at whole-leaf boundaries.
   CheckpointCoordinator* ckpt = nullptr;
+  // Leaf-GEMM tuning (simd/strassen.hpp): OOC tiles are large (whole
+  // leaves of the tile size), so D-kind leaves clear the Strassen
+  // crossover whenever the tile edge does. Installed process-wide for
+  // the run's duration; defaults inherit the env knobs.
+  simd::GemmOptions gemm{};
 };
 
 namespace detail {
@@ -187,6 +193,7 @@ void ooc_igep_floyd_warshall(OocTiledMatrix<T>& m, Inv& inv,
 template <class T, class Inv>
 void ooc_igep_lu(OocTiledMatrix<T>& m, Inv& inv, OocTypedOptions opts = {}) {
   detail::check_ooc_typed(m);
+  simd::ScopedGemmOptions gemm_scope(opts.gemm);
   const index_t n = m.rows();
   const index_t bs = m.tile_side();
   CheckpointCoordinator* ck = opts.ckpt;
@@ -241,6 +248,7 @@ void ooc_igep_matmul(OocTiledMatrix<T>& c, OocTiledMatrix<T>& a,
   detail::check_ooc_typed(c);
   detail::check_ooc_typed(a);
   detail::check_ooc_typed(b);
+  simd::ScopedGemmOptions gemm_scope(opts.gemm);
   const index_t n = c.rows();
   const index_t bs = c.tile_side();
   if (a.rows() != n || b.rows() != n || a.tile_side() != bs ||

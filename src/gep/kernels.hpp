@@ -307,7 +307,7 @@ void kernel_ge(T* x, const T* u, const T* v, const T* w, index_t m,
 #if GEP_SIMD_X86
   if constexpr (detail::simd_vec_type<T>) {
     if (detail::leaf_use_avx2()) {
-      if (!diag_i && !diag_j && m >= simd::kGemmMinM) {
+      if (!diag_i && !diag_j && m >= simd::gemm_min_m()) {
         // D-kind leaf: fold the division into A-packing, run as GEMM.
         simd::gemm_tile_scaled(x, u, v, w, m, sx, su, sv, sw);
       } else {
@@ -331,7 +331,7 @@ void kernel_lu(T* x, const T* u, const T* v, const T* w, index_t m,
 #if GEP_SIMD_X86
   if constexpr (detail::simd_vec_type<T>) {
     if (detail::leaf_use_avx2()) {
-      if (!diag_i && !diag_j && m >= simd::kGemmMinM) {
+      if (!diag_i && !diag_j && m >= simd::gemm_min_m()) {
         // D-kind leaf: multipliers already live in u — pure schur GEMM.
         simd::gemm_tile(x, u, v, m, sx, su, sv, T{-1});
       } else {
@@ -359,7 +359,7 @@ void kernel_lu_guarded(T* x, const T* u, const T* v, T* w, index_t m,
 #if GEP_SIMD_X86
   if constexpr (detail::simd_vec_type<T>) {
     if (detail::leaf_use_avx2()) {
-      if (!diag_i && !diag_j && m >= simd::kGemmMinM) {
+      if (!diag_i && !diag_j && m >= simd::gemm_min_m()) {
         // D-kind never consults the guard (diag_j is false) — identical
         // routing to kernel_lu keeps guarded == unguarded bitwise.
         simd::gemm_tile(x, u, v, m, sx, su, sv, T{-1});
@@ -434,7 +434,7 @@ void kernel_mm(T* x, const T* u, const T* v, index_t m, index_t sx,
 #if GEP_SIMD_X86
   if constexpr (detail::simd_vec_type<T>) {
     if (detail::leaf_use_avx2()) {
-      if (m >= simd::kGemmMinM) {
+      if (m >= simd::gemm_min_m()) {
         simd::gemm_tile(x, u, v, m, sx, su, sv, T{1});
       } else {
         simd::mm_avx2(x, u, v, m, sx, su, sv);

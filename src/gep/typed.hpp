@@ -21,6 +21,10 @@
 // derives from it tell the kernel wrappers when a tile is fully
 // disjoint (D-kind, di == dj == false), which is what licenses routing
 // GE/LU/MM leaves through the packed-panel GEMM (simd/gemm_leaf.hpp).
+// Those D-kind leaves are in turn Strassen-eligible: gemm_tile[_scaled]
+// consults simd/strassen.hpp first, so a leaf box whose edge clears
+// strassen_min_m() (384 by default — i.e. a base size that large) runs
+// the fused Strassen path with no changes here.
 #pragma once
 
 #include <type_traits>

@@ -7,6 +7,7 @@
 #include "simd/dispatch.hpp"
 #include "simd/kernels_avx2.hpp"
 #include "simd/microkernel.hpp"
+#include "simd/strassen.hpp"
 #include "util/aligned.hpp"
 
 namespace gep::simd {
@@ -14,23 +15,11 @@ namespace {
 
 // k-chunk for panel packing. Leaf tiles are almost always <= this, so B
 // packs exactly once per leaf call and is reused across all A panels.
+// (The thread-local packing panels live in microkernel.hpp's
+// packing_buffer, shared with the Strassen layer.)
 constexpr index_t kGemmKc = kMaxPanelK;
 static_assert(kGemmKc <= kMaxPanelK,
               "pack_a_scaled's reciprocal buffer is sized for kMaxPanelK");
-
-// Grow-on-demand thread-local packing buffers (index 0 = A, 1 = B).
-// Thread-local keeps the parallel typed engine's workers from sharing —
-// each worker packs into its own panels.
-template <class T>
-T* packing_buffer(int which, std::size_t count) {
-  thread_local AlignedPtr<T> buf[2];
-  thread_local std::size_t cap[2] = {0, 0};
-  if (cap[which] < count) {
-    buf[which] = make_aligned<T>(count);
-    cap[which] = count;
-  }
-  return buf[which].get();
-}
 
 // Shared macro-loop: x += alpha * packed(u') * v, where u' is either u
 // or u scaled by 1/diag(w) (Scaled = GE multiplier fold).
@@ -86,23 +75,31 @@ void gemm_impl(T* x, const T* u, const T* v, const T* w, index_t m,
 
 }  // namespace
 
+// Each entry point consults the Strassen layer first; it engages only
+// above the measured crossover (strassen_min_m) and returns false
+// otherwise, keeping sub-threshold leaves bit-identical to the classic
+// packed path.
 void gemm_tile(double* x, const double* u, const double* v, index_t m,
                index_t sx, index_t su, index_t sv, double alpha) {
+  if (strassen_gemm(m, m, m, alpha, u, su, v, sv, x, sx)) return;
   gemm_impl<double, false>(x, u, v, nullptr, m, sx, su, sv, 0, alpha);
 }
 void gemm_tile(float* x, const float* u, const float* v, index_t m,
                index_t sx, index_t su, index_t sv, float alpha) {
+  if (strassen_gemm(m, m, m, alpha, u, su, v, sv, x, sx)) return;
   gemm_impl<float, false>(x, u, v, nullptr, m, sx, su, sv, 0, alpha);
 }
 
 void gemm_tile_scaled(double* x, const double* u, const double* v,
                       const double* w, index_t m, index_t sx, index_t su,
                       index_t sv, index_t sw) {
+  if (strassen_gemm_scaled(x, u, v, w, m, sx, su, sv, sw)) return;
   gemm_impl<double, true>(x, u, v, w, m, sx, su, sv, sw, -1.0);
 }
 void gemm_tile_scaled(float* x, const float* u, const float* v,
                       const float* w, index_t m, index_t sx, index_t su,
                       index_t sv, index_t sw) {
+  if (strassen_gemm_scaled(x, u, v, w, m, sx, su, sv, sw)) return;
   gemm_impl<float, true>(x, u, v, w, m, sx, su, sv, sw, -1.0f);
 }
 

@@ -7,17 +7,24 @@
 // reused across every A row panel — the "B-panel reuse across the
 // k-sweep" that makes the leaf compute-bound.
 //
-// gep/kernels.hpp routes here only for tiles with m >= kGemmMinM; below
-// that the packing overhead loses to the plain vectorized sweep. The
-// threshold depends only on m, so a run's numeric path is deterministic.
+// gep/kernels.hpp routes here only for tiles with m >= gemm_min_m();
+// below that the packing overhead loses to the plain vectorized sweep.
+// The threshold depends only on m, so a run's numeric path is
+// deterministic.
 #pragma once
 
 #include "matrix/matrix.hpp"
 
 namespace gep::simd {
 
-// Minimum tile edge for packed-GEMM routing (see docs/KERNELS.md).
+// Default minimum tile edge for packed-GEMM routing (see
+// docs/KERNELS.md). The effective threshold is gemm_min_m().
 inline constexpr index_t kGemmMinM = 16;
+
+// Effective packed-GEMM threshold: $GEP_GEMM_MIN_M if set, else
+// kGemmMinM. Read once per process (defined in strassen.cpp alongside
+// the Strassen routing knobs — both thresholds share one mechanism).
+index_t gemm_min_m();
 
 // x(m x m, row stride sx) += alpha * u(m x m, su) * v(m x m, sv).
 // x must not alias u or v (D-kind contract). alpha = +1 serves

@@ -309,6 +309,122 @@ GEP_AVX2_FN void ukr_avx2_edge(index_t kc, float alpha, const float* pa,
   ukr_edge_impl<float, 16>(kc, alpha, pa, pb, c, ldc, mr, nr);
 }
 
+// --- multi-destination micro-kernels (Strassen output fusion) --------------
+//
+// The accumulation loop is identical to ukr_avx2; the product tile is
+// then streamed from registers to every destination quadrant with its
+// own ±1 coefficient, so Strassen's output additions cost no separate
+// sweep and all destinations share the identically-rounded product.
+
+GEP_AVX2_FN void ukr_avx2_multi(index_t kc, double alpha, const double* pa,
+                                const double* pb, const GemmDest<double>* dst,
+                                int nd, index_t ldc) {
+  constexpr int MR = 6;
+  constexpr index_t NR = 8;
+  __m256d acc[MR][2];
+  for (int i = 0; i < MR; ++i) {
+    acc[i][0] = _mm256_setzero_pd();
+    acc[i][1] = _mm256_setzero_pd();
+  }
+  // Early RFO prefetch of every destination tile: the multi writeback
+  // streams up to kMaxGemmOperands C quadrants, so hiding the C-line
+  // fetch behind the k-loop matters more than in the classic kernel.
+  for (int q = 0; q < nd; ++q) {
+    for (int i = 0; i < MR; ++i) {
+      __builtin_prefetch(dst[q].c + i * ldc, 1, 3);
+    }
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(pb + p * NR);
+    const __m256d b1 = _mm256_loadu_pd(pb + p * NR + 4);
+    const double* a = pa + p * MR;
+    for (int i = 0; i < MR; ++i) {
+      const __m256d ai = _mm256_broadcast_sd(a + i);
+      acc[i][0] = _mm256_fmadd_pd(ai, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_pd(ai, b1, acc[i][1]);
+    }
+  }
+  for (int q = 0; q < nd; ++q) {
+    const __m256d vs = _mm256_set1_pd(alpha * dst[q].coeff);
+    for (int i = 0; i < MR; ++i) {
+      double* ci = dst[q].c + i * ldc;
+      _mm256_storeu_pd(ci,
+                       _mm256_fmadd_pd(vs, acc[i][0], _mm256_loadu_pd(ci)));
+      _mm256_storeu_pd(
+          ci + 4, _mm256_fmadd_pd(vs, acc[i][1], _mm256_loadu_pd(ci + 4)));
+    }
+  }
+}
+
+GEP_AVX2_FN void ukr_avx2_multi(index_t kc, float alpha, const float* pa,
+                                const float* pb, const GemmDest<float>* dst,
+                                int nd, index_t ldc) {
+  constexpr int MR = 6;
+  constexpr index_t NR = 16;
+  __m256 acc[MR][2];
+  for (int i = 0; i < MR; ++i) {
+    acc[i][0] = _mm256_setzero_ps();
+    acc[i][1] = _mm256_setzero_ps();
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(pb + p * NR);
+    const __m256 b1 = _mm256_loadu_ps(pb + p * NR + 8);
+    const float* a = pa + p * MR;
+    for (int i = 0; i < MR; ++i) {
+      const __m256 ai = _mm256_broadcast_ss(a + i);
+      acc[i][0] = _mm256_fmadd_ps(ai, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(ai, b1, acc[i][1]);
+    }
+  }
+  for (int q = 0; q < nd; ++q) {
+    const __m256 vs = _mm256_set1_ps(alpha * dst[q].coeff);
+    for (int i = 0; i < MR; ++i) {
+      float* ci = dst[q].c + i * ldc;
+      _mm256_storeu_ps(ci,
+                       _mm256_fmadd_ps(vs, acc[i][0], _mm256_loadu_ps(ci)));
+      _mm256_storeu_ps(
+          ci + 8, _mm256_fmadd_ps(vs, acc[i][1], _mm256_loadu_ps(ci + 8)));
+    }
+  }
+}
+
+namespace {
+
+template <class T, index_t NR>
+GEP_AVX2_FN void ukr_multi_edge_impl(index_t kc, T alpha, const T* pa,
+                                     const T* pb, const GemmDest<T>* dst,
+                                     int nd, index_t ldc, index_t mr,
+                                     index_t nr) {
+  // Full zero-padded tile into scratch (alpha folded in), then each
+  // destination receives its ±1-scaled valid corner.
+  alignas(64) T tmp[6 * NR] = {};
+  GemmDest<T> t{tmp, T{1}};
+  ukr_avx2_multi(kc, alpha, pa, pb, &t, 1, NR);
+  for (int q = 0; q < nd; ++q) {
+    const T s = dst[q].coeff;
+    T* c = dst[q].c;
+    for (index_t i = 0; i < mr; ++i) {
+      for (index_t j = 0; j < nr; ++j) c[i * ldc + j] += s * tmp[i * NR + j];
+    }
+  }
+}
+
+}  // namespace
+
+GEP_AVX2_FN void ukr_avx2_multi_edge(index_t kc, double alpha,
+                                     const double* pa, const double* pb,
+                                     const GemmDest<double>* dst, int nd,
+                                     index_t ldc, index_t mr, index_t nr) {
+  ukr_multi_edge_impl<double, 8>(kc, alpha, pa, pb, dst, nd, ldc, mr, nr);
+}
+
+GEP_AVX2_FN void ukr_avx2_multi_edge(index_t kc, float alpha, const float* pa,
+                                     const float* pb,
+                                     const GemmDest<float>* dst, int nd,
+                                     index_t ldc, index_t mr, index_t nr) {
+  ukr_multi_edge_impl<float, 16>(kc, alpha, pa, pb, dst, nd, ldc, mr, nr);
+}
+
 // --- leaf kernels ----------------------------------------------------------
 
 GEP_AVX2_FN void fw_avx2(double* x, const double* u, const double* v,

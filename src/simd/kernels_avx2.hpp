@@ -16,6 +16,7 @@
 
 #include "matrix/matrix.hpp"
 #include "simd/dispatch.hpp"
+#include "simd/microkernel.hpp"
 
 #if GEP_SIMD_X86
 
@@ -41,6 +42,21 @@ void ukr_avx2_edge(index_t kc, double alpha, const double* pa,
                    index_t nr);
 void ukr_avx2_edge(index_t kc, float alpha, const float* pa, const float* pb,
                    float* c, index_t ldc, index_t mr, index_t nr);
+
+// Multi-destination variants for the Strassen layer: one micro-tile
+// product streamed to up to kMaxGemmOperands C quadrants as
+// c_q += alpha * coeff_q * acc (see ukr_scalar_multi).
+void ukr_avx2_multi(index_t kc, double alpha, const double* pa,
+                    const double* pb, const GemmDest<double>* dst, int nd,
+                    index_t ldc);
+void ukr_avx2_multi(index_t kc, float alpha, const float* pa, const float* pb,
+                    const GemmDest<float>* dst, int nd, index_t ldc);
+void ukr_avx2_multi_edge(index_t kc, double alpha, const double* pa,
+                         const double* pb, const GemmDest<double>* dst,
+                         int nd, index_t ldc, index_t mr, index_t nr);
+void ukr_avx2_multi_edge(index_t kc, float alpha, const float* pa,
+                         const float* pb, const GemmDest<float>* dst, int nd,
+                         index_t ldc, index_t mr, index_t nr);
 
 // --- Leaf kernels ----------------------------------------------------------
 

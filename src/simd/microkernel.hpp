@@ -16,8 +16,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 
 #include "matrix/matrix.hpp"
+#include "util/aligned.hpp"
 
 namespace gep::simd {
 
@@ -73,16 +75,36 @@ void pack_a_scaled(const T* a, index_t lda, index_t mc, index_t kc,
   }
 }
 
+// Row-chunk size for pack_b traversal: strip-outer order alone reads NR
+// elements then jumps a whole row stride (TLB-miss per touch on large
+// ldb), row-outer order alone scatters writes across every panel.
+// Chunking kPackBRows rows and sweeping panels inside the chunk keeps
+// the source slab cache-resident across panels and each panel's write
+// run sequential — ~25% faster than either pure order at ldb = 1024,
+// and within ~25% of this-host memcpy bandwidth (the practical floor).
+inline constexpr index_t kPackBRows = 32;
+
 // Packs a kc x nc block of row-major B (leading dimension ldb) into
 // NR-column row panels, zero-padded.
 template <class T>
 void pack_b(const T* b, index_t ldb, index_t kc, index_t nc, T* dst) {
   constexpr index_t NR = micro_cols<T>();
-  for (index_t j0 = 0; j0 < nc; j0 += NR) {
-    const index_t nr = std::min(NR, nc - j0);
-    for (index_t p = 0; p < kc; ++p) {
-      for (index_t j = 0; j < NR; ++j) {
-        *dst++ = (j < nr) ? b[p * ldb + j0 + j] : T{};
+  for (index_t p0 = 0; p0 < kc; p0 += kPackBRows) {
+    const index_t pe = std::min(p0 + kPackBRows, kc);
+    for (index_t j0 = 0; j0 < nc; j0 += NR) {
+      const index_t nr = std::min(NR, nc - j0);
+      T* dp = dst + (j0 / NR) * kc * NR + p0 * NR;
+      if (nr == NR) {
+        for (index_t p = p0; p < pe; ++p, dp += NR) {
+          const T* bp = b + p * ldb + j0;
+          for (index_t j = 0; j < NR; ++j) dp[j] = bp[j];
+        }
+      } else {
+        for (index_t p = p0; p < pe; ++p, dp += NR) {
+          const T* bp = b + p * ldb + j0;
+          for (index_t j = 0; j < nr; ++j) dp[j] = bp[j];
+          for (index_t j = nr; j < NR; ++j) dp[j] = T{};
+        }
       }
     }
   }
@@ -143,6 +165,231 @@ template <class T>
 constexpr index_t packed_b_size(index_t kc, index_t nc) {
   constexpr index_t NR = micro_cols<T>();
   return ((nc + NR - 1) / NR) * NR * kc;
+}
+
+// --- Strassen fusion hooks -------------------------------------------------
+//
+// The Strassen layer (simd/strassen.*) never materializes operand sums
+// like A00+A11: each of its multiplies is a packed GEMM whose A/B
+// operand is a ±1 linear combination of up to kMaxGemmOperands source
+// quadrants (formed on the fly while packing) and whose product is
+// scattered to up to kMaxGemmOperands C quadrants with ±1 coefficients
+// (applied in the micro-kernel's writeback). Two Strassen levels square
+// the per-multiply operand count from <=2 to <=4, hence the cap.
+
+inline constexpr int kMaxGemmOperands = 4;
+
+// One source quadrant of a packed operand. `inv`, when non-null, points
+// at per-column reciprocals (the Gaussian-elimination multiplier fold of
+// pack_a_scaled, hoisted so each quadrant indexes the shared reciprocal
+// vector at its own column offset); only A sources use it.
+template <class T>
+struct PackSrc {
+  const T* p;
+  T coeff;
+  const T* inv;
+};
+
+// One destination quadrant of a micro-tile writeback.
+template <class T>
+struct GemmDest {
+  T* c;
+  T coeff;
+};
+
+namespace detail_pack {
+
+// Compile-time-NS bodies: source pointers and coefficients live in
+// locals (the aliasing-opaque PackSrc fields would otherwise reload
+// every element), and the inv indirection is a template branch, not a
+// per-element one. NS <= kMaxGemmOperands.
+template <class T, int NS, bool Inv>
+void pack_a_multi_fixed(const PackSrc<T>* s, index_t lda, index_t mc,
+                        index_t kc, T* dst) {
+  constexpr index_t MR = kMicroRows;
+  const T* src[NS];
+  const T* inv[NS];
+  T co[NS];
+  for (int q = 0; q < NS; ++q) {
+    src[q] = s[q].p;
+    inv[q] = s[q].inv;
+    co[q] = s[q].coeff;
+  }
+  for (index_t i0 = 0; i0 < mc; i0 += MR) {
+    const index_t mr = std::min(MR, mc - i0);
+    if (mr == MR) {
+      for (index_t p = 0; p < kc; ++p) {
+        for (index_t i = 0; i < MR; ++i) {
+          T acc{};
+          for (int q = 0; q < NS; ++q) {
+            T v = src[q][(i0 + i) * lda + p];
+            if constexpr (Inv) v *= inv[q][p];
+            acc += co[q] * v;
+          }
+          *dst++ = acc;
+        }
+      }
+    } else {
+      for (index_t p = 0; p < kc; ++p) {
+        for (index_t i = 0; i < MR; ++i) {
+          T acc{};
+          if (i < mr) {
+            for (int q = 0; q < NS; ++q) {
+              T v = src[q][(i0 + i) * lda + p];
+              if constexpr (Inv) v *= inv[q][p];
+              acc += co[q] * v;
+            }
+          }
+          *dst++ = acc;
+        }
+      }
+    }
+  }
+}
+
+// Same chunked traversal as pack_b (see kPackBRows).
+template <class T, int NS>
+void pack_b_multi_fixed(const PackSrc<T>* s, index_t ldb, index_t kc,
+                        index_t nc, T* dst) {
+  constexpr index_t NR = micro_cols<T>();
+  const T* src[NS];
+  T co[NS];
+  for (int q = 0; q < NS; ++q) {
+    src[q] = s[q].p;
+    co[q] = s[q].coeff;
+  }
+  for (index_t p0 = 0; p0 < kc; p0 += kPackBRows) {
+    const index_t pe = std::min(p0 + kPackBRows, kc);
+    for (index_t j0 = 0; j0 < nc; j0 += NR) {
+      const index_t nr = std::min(NR, nc - j0);
+      T* dp = dst + (j0 / NR) * kc * NR + p0 * NR;
+      for (index_t p = p0; p < pe; ++p, dp += NR) {
+        for (index_t j = 0; j < nr; ++j) {
+          T acc = co[0] * src[0][p * ldb + j0 + j];
+          for (int q = 1; q < NS; ++q) {
+            acc += co[q] * src[q][p * ldb + j0 + j];
+          }
+          dp[j] = acc;
+        }
+        for (index_t j = nr; j < NR; ++j) dp[j] = T{};
+      }
+    }
+  }
+}
+
+}  // namespace detail_pack
+
+// pack_a over a ±1 linear combination of source quadrants (all sharing
+// lda). Layout is identical to pack_a, so the micro-kernels are reused
+// unchanged. Sources must carry `inv` uniformly (all null or all
+// non-null), which the Strassen layer guarantees.
+template <class T>
+void pack_a_multi(const PackSrc<T>* s, int ns, index_t lda, index_t mc,
+                  index_t kc, T* dst) {
+  const bool inv = s[0].inv != nullptr;
+  switch (ns) {
+    case 1:
+      inv ? detail_pack::pack_a_multi_fixed<T, 1, true>(s, lda, mc, kc, dst)
+          : detail_pack::pack_a_multi_fixed<T, 1, false>(s, lda, mc, kc, dst);
+      return;
+    case 2:
+      inv ? detail_pack::pack_a_multi_fixed<T, 2, true>(s, lda, mc, kc, dst)
+          : detail_pack::pack_a_multi_fixed<T, 2, false>(s, lda, mc, kc, dst);
+      return;
+    case 3:
+      inv ? detail_pack::pack_a_multi_fixed<T, 3, true>(s, lda, mc, kc, dst)
+          : detail_pack::pack_a_multi_fixed<T, 3, false>(s, lda, mc, kc, dst);
+      return;
+    default:
+      inv ? detail_pack::pack_a_multi_fixed<T, 4, true>(s, lda, mc, kc, dst)
+          : detail_pack::pack_a_multi_fixed<T, 4, false>(s, lda, mc, kc, dst);
+      return;
+  }
+}
+
+// pack_b over a ±1 linear combination of source quadrants (shared ldb).
+template <class T>
+void pack_b_multi(const PackSrc<T>* s, int ns, index_t ldb, index_t kc,
+                  index_t nc, T* dst) {
+  switch (ns) {
+    case 1:
+      detail_pack::pack_b_multi_fixed<T, 1>(s, ldb, kc, nc, dst);
+      return;
+    case 2:
+      detail_pack::pack_b_multi_fixed<T, 2>(s, ldb, kc, nc, dst);
+      return;
+    case 3:
+      detail_pack::pack_b_multi_fixed<T, 3>(s, ldb, kc, nc, dst);
+      return;
+    default:
+      detail_pack::pack_b_multi_fixed<T, 4>(s, ldb, kc, nc, dst);
+      return;
+  }
+}
+
+// Multi-destination scalar micro-kernel: accumulates one micro-tile
+// product, then streams it to every destination quadrant as
+// c_q += alpha * coeff_q * acc. The single product is rounded once and
+// shared, so all destinations see the identical tile.
+template <class T>
+void ukr_scalar_multi(index_t kc, T alpha, const T* __restrict pa,
+                      const T* __restrict pb, const GemmDest<T>* dst, int nd,
+                      index_t ldc) {
+  constexpr index_t MR = kMicroRows;
+  constexpr index_t NR = micro_cols<T>();
+  T acc[MR][NR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const T* a = pa + p * MR;
+    const T* b = pb + p * NR;
+    for (index_t i = 0; i < MR; ++i) {
+      for (index_t j = 0; j < NR; ++j) acc[i][j] += a[i] * b[j];
+    }
+  }
+  for (int q = 0; q < nd; ++q) {
+    const T s = alpha * dst[q].coeff;
+    T* c = dst[q].c;
+    for (index_t i = 0; i < MR; ++i) {
+      for (index_t j = 0; j < NR; ++j) c[i * ldc + j] += s * acc[i][j];
+    }
+  }
+}
+
+template <class T>
+void ukr_scalar_multi_edge(index_t kc, T alpha, const T* __restrict pa,
+                           const T* __restrict pb, const GemmDest<T>* dst,
+                           int nd, index_t ldc, index_t mr, index_t nr) {
+  constexpr index_t MR = kMicroRows;
+  constexpr index_t NR = micro_cols<T>();
+  T acc[MR][NR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const T* a = pa + p * MR;
+    const T* b = pb + p * NR;
+    for (index_t i = 0; i < mr; ++i) {
+      for (index_t j = 0; j < nr; ++j) acc[i][j] += a[i] * b[j];
+    }
+  }
+  for (int q = 0; q < nd; ++q) {
+    const T s = alpha * dst[q].coeff;
+    T* c = dst[q].c;
+    for (index_t i = 0; i < mr; ++i) {
+      for (index_t j = 0; j < nr; ++j) c[i * ldc + j] += s * acc[i][j];
+    }
+  }
+}
+
+// Grow-on-demand thread-local packing panels (index 0 = A, 1 = B),
+// shared by the classic leaf GEMM (gemm_leaf.cpp) and the Strassen
+// macro loops (strassen.cpp) — they never run nested, and thread-local
+// storage keeps the parallel typed engine's workers from sharing.
+template <class T>
+T* packing_buffer(int which, std::size_t count) {
+  thread_local AlignedPtr<T> buf[2];
+  thread_local std::size_t cap[2] = {0, 0};
+  if (cap[which] < count) {
+    buf[which] = make_aligned<T>(count);
+    cap[which] = count;
+  }
+  return buf[which].get();
 }
 
 }  // namespace gep::simd

@@ -18,6 +18,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -355,8 +356,13 @@ TEST_F(SimdKernels, MatmulMatchesScalarAcrossGemmThreshold) {
 // The packed-GEMM route must kick in exactly at kGemmMinM — both sides
 // of the boundary already run in the loops above; this pins the
 // threshold itself so a silent change shows up as a test edit.
+// gemm_min_m() is the runtime value ($GEP_GEMM_MIN_M override); with
+// the env unset it must resolve to the same pinned default.
 TEST_F(SimdKernels, GemmThresholdIsStable) {
   EXPECT_EQ(simd::kGemmMinM, 16);
+  if (std::getenv("GEP_GEMM_MIN_M") == nullptr) {
+    EXPECT_EQ(simd::gemm_min_m(), simd::kGemmMinM);
+  }
 }
 
 }  // namespace
