@@ -33,11 +33,15 @@ inline constexpr int kBenchSchemaVersion = 2;
 // Prints the machine row (our stand-in for the paper's Table 2) and
 // returns the measured peak in GFLOP/s used for "% of peak" columns.
 // Every bench calls this first, so it doubles as the telemetry hook:
-// crash handlers write a flight-recorder dump on fatal signals, and
-// $GEP_WATCHDOG_MS arms the stall watchdog for the whole run.
+// crash handlers write a flight-recorder dump on fatal signals,
+// $GEP_WATCHDOG_MS arms the stall watchdog, and $GEP_STAT_PORT starts
+// the embedded HTTP exporter for the whole run (the dispatch level is
+// injected here because gep_obs cannot link the SIMD layer itself).
 inline double print_host_banner(const char* title) {
   obs::flight::install_crash_handlers();
   obs::Watchdog::start_from_env();
+  obs::StatServer::set_build_info(nullptr, simd::active_name());
+  obs::StatServer::start_from_env();
   CpuInfo info = query_cpu_info();
   double peak = measured_peak_gflops();
   std::printf("== %s ==\n", title);

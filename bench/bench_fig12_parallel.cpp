@@ -159,10 +159,15 @@ int main() {
   Matrix<double> b_dag = bench::random_matrix(n_dag, 8);
   Table dag_tbl(
       {"problem", "forkjoin (s)", "dag (s)", "dag speedup vs forkjoin"});
-  auto dag_leg = [&](const char* kind, double fl,
+  auto dag_leg = [&](const char* kind, double fl, double updates_one_pass,
                      const std::function<double(apps::Runtime,
                                                 Matrix<double>&)>& run) {
     Matrix<double> out_fj, out_dag;
+    // Live /progress over the whole leg (2 runtimes x reps passes); the
+    // stat server was armed by the banner when $GEP_STAT_PORT is set.
+    obs::ProgressMeter meter;
+    meter.begin(2.0 * reps * updates_one_pass, 2.0 * reps * fl);
+    obs::ScopedStatProgress stat_progress(meter, kind);
     double t_fj = run(apps::Runtime::ForkJoin, out_fj);
     for (int r = 1; r < reps; ++r) {
       t_fj = std::min(t_fj, run(apps::Runtime::ForkJoin, out_fj));
@@ -204,6 +209,7 @@ int main() {
                      Table::num(t_fj / t_dag, 2)});
   };
   dag_leg("FW", bench::flops_fw(n_dag),
+          obs::typed_cube_updates(static_cast<double>(n_dag)),
           [&](apps::Runtime rt, Matrix<double>& out) {
             out = fw_dag_init;
             WallTimer t;
@@ -211,6 +217,8 @@ int main() {
             return t.seconds();
           });
   dag_leg("LU", bench::flops_lu(n_dag),
+          obs::typed_lu_updates(static_cast<double>(n_dag),
+                                static_cast<double>(base)),
           [&](apps::Runtime rt, Matrix<double>& out) {
             out = lu_dag_init;
             WallTimer t;
@@ -218,6 +226,7 @@ int main() {
             return t.seconds();
           });
   dag_leg("MM", bench::flops_mm(n_dag),
+          obs::typed_cube_updates(static_cast<double>(n_dag)),
           [&](apps::Runtime rt, Matrix<double>& out) {
             out = Matrix<double>(n_dag, n_dag, 0.0);
             WallTimer t;

@@ -258,6 +258,22 @@ int main(int argc, char** argv) {
                   passes * bench::flops_fw(n));
       obs::ProgressReporter reporter(
           &meter, obs::ProgressReporter::env_interval(), label);
+      // I/O-bound accounting: page transfers against the Θ(n³/(B√M)) +
+      // scan prediction. The ratio's absolute value calibrates the Θ
+      // constant; the gates only check stability.
+      const obs::IoBoundPrediction pred = obs::igep_io_prediction(
+          static_cast<double>(n), static_cast<double>(M),
+          static_cast<double>(B));
+      // Live telemetry: while the leg runs, /progress serves this meter
+      // and /io the leg-cumulative transfers against the passes-scaled
+      // prediction ($GEP_STAT_PORT armed the server in the banner).
+      obs::IoBoundPrediction pred_run = pred;
+      pred_run.cube_transfers *= passes;
+      pred_run.scan_transfers *= passes;
+      const std::uint64_t io_base = cache.stats().io();
+      obs::ScopedStatProgress stat_progress(meter, label);
+      obs::ScopedStatIoModel stat_io(
+          pred_run, [&cache, io_base] { return cache.stats().io() - io_base; });
       std::uint64_t io_pass = 0;  // page I/Os of the last timed pass
       double dt = 0;
       try {
@@ -304,12 +320,6 @@ int main(int argc, char** argv) {
         report.annotate("dag_lookahead",
                         static_cast<double>(dag_lookahead_from_env()));
       }
-      // I/O-bound accounting: last-pass page transfers against the
-      // Θ(n³/(B√M)) + scan prediction. The ratio's absolute value
-      // calibrates the Θ constant; the gates only check stability.
-      const obs::IoBoundPrediction pred = obs::igep_io_prediction(
-          static_cast<double>(n), static_cast<double>(M),
-          static_cast<double>(B));
       report.annotate("io_measured", static_cast<double>(io_pass));
       report.annotate("io_predicted", pred.total());
       report.annotate("io_ratio", obs::io_bound_ratio(io_pass, pred));
@@ -494,6 +504,16 @@ int main(int argc, char** argv) {
       obs::ProgressMeter meter;
       meter.begin(passes * obs::typed_cube_updates(static_cast<double>(n2)),
                   passes * bench::flops_fw(n2));
+      const obs::IoBoundPrediction pred = obs::igep_io_prediction(
+          static_cast<double>(n2), static_cast<double>(M2),
+          static_cast<double>(B));
+      obs::IoBoundPrediction pred_run = pred;
+      pred_run.cube_transfers *= passes;
+      pred_run.scan_transfers *= passes;
+      const std::uint64_t io_base = cache.stats().io();
+      obs::ScopedStatProgress stat_progress(meter, "typed sync seq (n/2)");
+      obs::ScopedStatIoModel stat_io(
+          pred_run, [&cache, io_base] { return cache.stats().io() - io_base; });
       std::uint64_t io_pass = 0;
       try {
         report.timed("typed sync seq", n2, bench::flops_fw(n2), [&] {
@@ -506,9 +526,6 @@ int main(int argc, char** argv) {
         obs::flight::dump_default();
         std::exit(130);
       }
-      const obs::IoBoundPrediction pred = obs::igep_io_prediction(
-          static_cast<double>(n2), static_cast<double>(M2),
-          static_cast<double>(B));
       report.annotate("io_measured", static_cast<double>(io_pass));
       report.annotate("io_predicted", pred.total());
       report.annotate("io_ratio", obs::io_bound_ratio(io_pass, pred));

@@ -3,7 +3,40 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/progress.hpp"
+#include "obs/stat_server.hpp"
+
 namespace gep::apps {
+
+namespace {
+
+// The solver entry points are the ROADMAP's long-running service front
+// door, so they arm the embedded stat server themselves ($GEP_STAT_PORT;
+// a no-op when unset or already running) and publish an LU progress
+// meter for /progress. The closed form tracks the typed engine's work
+// counters; other engines simply report fraction 0.
+struct SolverTelemetry {
+  obs::ProgressMeter meter;
+  obs::ScopedStatProgress publication;
+
+  SolverTelemetry(index_t n, const RunOptions& opts, const char* label)
+      : meter(begun(n, opts)), publication(meter, label) {}
+
+ private:
+  // begin() must complete before the meter is published (the server
+  // samples concurrently under its own lock).
+  static obs::ProgressMeter begun(index_t n, const RunOptions& opts) {
+    obs::StatServer::start_from_env();
+    obs::ProgressMeter m;
+    m.begin(obs::typed_lu_updates(static_cast<double>(n),
+                                  static_cast<double>(opts.base_size)),
+            2.0 / 3.0 * static_cast<double>(n) * static_cast<double>(n) *
+                static_cast<double>(n));
+    return m;
+  }
+};
+
+}  // namespace
 
 void forward_substitute(const Matrix<double>& lu, std::vector<double>& x) {
   const index_t n = lu.rows();
@@ -33,6 +66,7 @@ std::vector<double> solve(Matrix<double> a, const std::vector<double>& b,
   if (a.cols() != n || b.size() != static_cast<std::size_t>(n)) {
     throw std::invalid_argument("solve: dimension mismatch");
   }
+  SolverTelemetry telemetry(n, opts, "solve");
   lu_decompose(a, engine, opts);
   std::vector<double> x = b;
   forward_substitute(a, x);
@@ -46,6 +80,7 @@ Matrix<double> solve(Matrix<double> a, const Matrix<double>& b, Engine engine,
   if (a.cols() != n || b.rows() != n) {
     throw std::invalid_argument("solve: dimension mismatch");
   }
+  SolverTelemetry telemetry(n, opts, "solve");
   lu_decompose(a, engine, opts);
   Matrix<double> x = b;
   // Column-wise triangular solves against the shared factor.
@@ -83,6 +118,9 @@ NumericReport lu_decompose_guarded(Matrix<double>& a,
     throw std::invalid_argument("lu_decompose_guarded: square only");
   }
   NumericReport rep;
+  // One-pass total: boost rounds re-factor, so /progress can exceed 1.0
+  // on a breakdown-heavy system — itself a useful live signal.
+  SolverTelemetry telemetry(n, opts, "lu_guarded");
   const double amax = guard_max_abs(a);
   const double tiny = guard.threshold(n, amax);
   const Matrix<double> orig = a;  // retry base + residual reference

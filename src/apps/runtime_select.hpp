@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "apps/apps.hpp"
+#include "obs/stat_server.hpp"
 #include "parallel/task_graph.hpp"
 
 namespace gep::apps::detail {
@@ -35,6 +36,10 @@ inline int dag_workers(const RunOptions& opts) {
 // executes in emission order on the calling thread).
 template <class Fn>
 void with_dag_pool(const RunOptions& opts, Fn&& fn) {
+  // DAG-runtime drivers are long-running entry points: arm the embedded
+  // stat server when $GEP_STAT_PORT asks for it (no-op otherwise or when
+  // a bench banner already started it; inert stub at GEP_OBS=0).
+  obs::StatServer::start_from_env();
   const int workers = dag_workers(opts);
   if (workers > 1) {
     WorkStealingPool pool(workers);

@@ -35,6 +35,11 @@ struct PageCacheObs {
   obs::Counter prefetch_redundant = obs::counter("extmem.prefetch.redundant");
   obs::Counter prefetch_dropped = obs::counter("extmem.prefetch.dropped");
   obs::Gauge queue_depth = obs::gauge("extmem.prefetch.queue_depth");
+  // 1.0 while the async worker is degraded: the stat server's /healthz
+  // reads this (it cannot reach PageCache instances from gep_obs).
+  obs::Gauge degraded = obs::gauge("extmem.async.degraded");
+  // Resident (valid-mapping) fraction of the cache's frames.
+  obs::Gauge occupancy = obs::gauge("extmem.cache.occupancy");
   obs::Counter writeback_failures =
       obs::counter("robust.writeback_failures");
   obs::Counter prefetch_errors = obs::counter("robust.prefetch_errors");
@@ -319,6 +324,8 @@ std::size_t PageCache::resident_frame(std::unique_lock<std::mutex>& lock,
     fr.io_busy = false;
     --io_in_flight_;
     lru_.splice(lru_.end(), lru_, lru_pos_[frame]);
+    page_cache_obs().occupancy.set(static_cast<double>(table_.size()) /
+                                   static_cast<double>(frame_count_));
     io_cv_.notify_all();
     throw;
   }
@@ -344,6 +351,8 @@ std::size_t PageCache::resident_frame(std::unique_lock<std::mutex>& lock,
   fr.io_busy = false;
   --io_in_flight_;
   touch_lru(frame);
+  page_cache_obs().occupancy.set(static_cast<double>(table_.size()) /
+                                 static_cast<double>(frame_count_));
   if (is_prefetch) {
     st.prefetch_completed.fetch_add(1, std::memory_order_relaxed);
     page_cache_obs().prefetch_completed.inc();
@@ -409,6 +418,7 @@ void PageCache::note_worker_failure() {
       !degraded_.load(std::memory_order_relaxed)) {
     degraded_.store(true, std::memory_order_release);
     page_cache_obs().async_degraded.inc();
+    page_cache_obs().degraded.set(1.0);
   }
 }
 
@@ -509,6 +519,7 @@ void PageCache::enable_async_io() {
   worker_stop_ = false;
   worker_failures_ = 0;
   degraded_.store(false, std::memory_order_release);
+  page_cache_obs().degraded.set(0.0);
   io_worker_ = std::thread([this] { io_worker_loop(); });
 }
 

@@ -1,0 +1,214 @@
+// Prometheus text exposition (version 0.0.4) for registry snapshots.
+//
+// One formatter, two consumers: the embedded stat server's /metrics
+// endpoint (obs/stat_server.hpp, live snapshot) and the offline
+// `gep_events --prom` view of the registry JSON embedded in a flight
+// dump. Keeping both on write_exposition() means the live and offline
+// renderings cannot drift.
+//
+// Mapping:
+//   counter  "typed.updates.A"     -> gep_typed_updates_A_total 123
+//   gauge    "extmem.prefetch.queue_depth" -> gep_extmem_prefetch_queue_depth 4
+//   histogram (log2 buckets)       -> gep_<name>_bucket{le="..."} cumulative
+//                                     + _sum (upper-bound estimate) + _count
+//   identity                       -> gep_build_info{sha=...,dispatch_level=...,
+//                                     obs=...} 1
+// Histogram bucket b >= 1 covers [2^(b-1), 2^b), so its `le` boundary is
+// 2^b - 1; bucket 0 is the exact-zero bucket (le="0"). The _sum series
+// is an upper-bound estimate (observations counted at their bucket's
+// boundary) — the registry keeps only log2 counts, and the estimate is
+// consistent with hist_percentile()'s convention.
+//
+// Always compiled, independent of GEP_OBS (MetricSample exists in both
+// builds; an empty snapshot renders as just the build-info series).
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json_read.hpp"
+#include "obs/registry.hpp"
+
+namespace gep::obs::expo {
+
+// Labels on the gep_build_info identity series.
+struct BuildInfo {
+  std::string sha = "unknown";
+  std::string dispatch = "unknown";
+  bool obs_enabled = kEnabled;
+};
+
+// $GEP_GIT_SHA, then $GITHUB_SHA, then "unknown" (no subprocesses: this
+// runs inside servers and signal-adjacent tooling).
+inline BuildInfo env_build_info() {
+  BuildInfo b;
+  if (const char* s = std::getenv("GEP_GIT_SHA"); s != nullptr && *s != 0) {
+    b.sha = s;
+  } else if (const char* g = std::getenv("GITHUB_SHA");
+             g != nullptr && *g != 0) {
+    b.sha = g;
+  }
+  return b;
+}
+
+// Registry name -> Prometheus metric name: "gep_" prefix, every
+// character outside [a-zA-Z0-9_] replaced by '_'.
+inline std::string prom_name(std::string_view raw) {
+  std::string out = "gep_";
+  out.reserve(raw.size() + 4);
+  for (char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// Label-value escaping per the exposition format: backslash, quote, LF.
+inline std::string prom_label_value(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace detail {
+
+inline void write_double(std::ostream& os, double d) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  os << buf;
+}
+
+}  // namespace detail
+
+// Renders a registry snapshot (Registry::snapshot() order: counters,
+// gauges, histograms, each sorted by name) plus the build-info series.
+inline void write_exposition(std::ostream& os,
+                             const std::vector<MetricSample>& samples,
+                             const BuildInfo& info) {
+  os << "# TYPE gep_build_info gauge\n"
+     << "gep_build_info{sha=\"" << prom_label_value(info.sha)
+     << "\",dispatch_level=\"" << prom_label_value(info.dispatch)
+     << "\",obs=\"" << (info.obs_enabled ? "on" : "off") << "\"} 1\n";
+  for (const MetricSample& s : samples) {
+    const std::string name = prom_name(s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::Counter: {
+        os << "# TYPE " << name << "_total counter\n"
+           << name << "_total " << s.count << "\n";
+        break;
+      }
+      case MetricSample::Kind::Gauge: {
+        os << "# TYPE " << name << " gauge\n" << name << ' ';
+        detail::write_double(os, s.value);
+        os << "\n";
+        break;
+      }
+      case MetricSample::Kind::Histogram: {
+        os << "# TYPE " << name << " histogram\n";
+        // Highest populated bucket bounds the emitted `le` ladder (the
+        // cumulative count is constant above it).
+        std::size_t top = 0;
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (s.buckets[i] != 0) top = i;
+        }
+        std::uint64_t cum = 0;
+        double sum_estimate = 0.0;
+        for (std::size_t b = 0; b <= top && b < s.buckets.size(); ++b) {
+          cum += s.buckets[b];
+          const double bound =
+              b == 0 ? 0.0
+                     : static_cast<double>(
+                           b >= 64 ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << b) - 1);
+          sum_estimate += static_cast<double>(s.buckets[b]) * bound;
+          os << name << "_bucket{le=\"";
+          detail::write_double(os, bound);
+          os << "\"} " << cum << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << s.count << "\n";
+        os << name << "_sum ";
+        detail::write_double(os, sum_estimate);
+        os << "\n" << name << "_count " << s.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+inline std::string exposition(const std::vector<MetricSample>& samples,
+                              const BuildInfo& info) {
+  std::ostringstream os;
+  write_exposition(os, samples, info);
+  return os.str();
+}
+
+// Rebuilds a MetricSample list from the snapshot_json() shape
+// ({"counters":{...},"gauges":{...},"histograms":{name:{"count":...,
+// "buckets":[[index,count],...]}}}) — the inverse the offline path
+// (gep_events --prom over a dump's embedded metrics JSON) feeds to
+// write_exposition().
+inline std::vector<MetricSample> samples_from_snapshot_json(
+    const JsonValue& v) {
+  std::vector<MetricSample> out;
+  if (!v.is_object()) return out;
+  if (const JsonValue* c = v.find("counters"); c != nullptr && c->is_object()) {
+    for (const auto& [name, val] : c->members()) {
+      MetricSample s;
+      s.kind = MetricSample::Kind::Counter;
+      s.name = name;
+      s.count = static_cast<std::uint64_t>(val.as_double());
+      out.push_back(std::move(s));
+    }
+  }
+  if (const JsonValue* g = v.find("gauges"); g != nullptr && g->is_object()) {
+    for (const auto& [name, val] : g->members()) {
+      MetricSample s;
+      s.kind = MetricSample::Kind::Gauge;
+      s.name = name;
+      s.value = val.as_double();
+      out.push_back(std::move(s));
+    }
+  }
+  if (const JsonValue* h = v.find("histograms");
+      h != nullptr && h->is_object()) {
+    for (const auto& [name, val] : h->members()) {
+      MetricSample s;
+      s.kind = MetricSample::Kind::Histogram;
+      s.name = name;
+      s.buckets.assign(static_cast<std::size_t>(kHistBuckets), 0);
+      if (const JsonValue* bk = val.find("buckets");
+          bk != nullptr && bk->is_array()) {
+        for (const JsonValue& pair : bk->items()) {
+          if (!pair.is_array() || pair.items().size() != 2) continue;
+          const auto idx =
+              static_cast<std::size_t>(pair.items()[0].as_double());
+          if (idx < s.buckets.size()) {
+            s.buckets[idx] =
+                static_cast<std::uint64_t>(pair.items()[1].as_double());
+          }
+        }
+      }
+      for (std::uint64_t b : s.buckets) s.count += b;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace gep::obs::expo

@@ -71,10 +71,14 @@ class JsonValue {
     return nullptr;
   }
 
-  // Parses `text` into `*out`. On failure returns false and, when `err`
-  // is non-null, describes the first error and its byte offset.
+  // Parses `text` into `*out`, replacing any previous contents (the
+  // object/array fillers append, so a reused value must start empty or
+  // stale members shadow fresh ones in find()). On failure returns
+  // false and, when `err` is non-null, describes the first error and
+  // its byte offset.
   static bool parse(std::string_view text, JsonValue* out,
                     std::string* err = nullptr) {
+    *out = JsonValue();
     Parser p{text, 0, err};
     if (!p.value(out, 0)) return false;
     p.skip_ws();

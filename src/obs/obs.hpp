@@ -19,12 +19,17 @@
 //                     work counters vs the closed-form totals
 //   io_model.hpp    — predicted Θ(n³/(B√M)) block transfers for the
 //                     measured-vs-bound ratio in the OOC benches
+//   expo.hpp        — Prometheus text exposition shared by the live
+//                     /metrics endpoint and `gep_events --prom`
+//   stat_server.hpp — embedded HTTP exporter (/metrics, /healthz,
+//                     /progress, /profile, /io, /flight?dump=1)
 //
 // Compile-time switch: GEP_OBS (default 1; CMake -DGEP_OBS=0 turns every
 // producer into an inline no-op stub — the default hot paths carry no
 // instrumentation code at all). See docs/OBSERVABILITY.md.
 #pragma once
 
+#include "obs/expo.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/hw_counters.hpp"
 #include "obs/io_model.hpp"
@@ -33,5 +38,6 @@
 #include "obs/profile.hpp"
 #include "obs/progress.hpp"
 #include "obs/registry.hpp"
+#include "obs/stat_server.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"

@@ -165,6 +165,16 @@ class Gauge {
   void set(double v) {
     if (p_ != nullptr) p_->v.store(v, std::memory_order_relaxed);
   }
+  // Relative adjustment for level-style gauges shared by many threads
+  // (active workers, cache occupancy): CAS loop, since fetch_add on
+  // atomic<double> predates parts of our toolchain matrix.
+  void add(double d) {
+    if (p_ == nullptr) return;
+    double cur = p_->v.load(std::memory_order_relaxed);
+    while (!p_->v.compare_exchange_weak(cur, cur + d,
+                                        std::memory_order_relaxed)) {
+    }
+  }
   double value() const {
     return p_ == nullptr ? 0.0 : p_->v.load(std::memory_order_relaxed);
   }
@@ -254,6 +264,7 @@ class Counter {
 class Gauge {
  public:
   void set(double) {}
+  void add(double) {}
   double value() const { return 0.0; }
 };
 

@@ -1,0 +1,593 @@
+#include "obs/stat_server.hpp"
+
+#if GEP_OBS
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/expo.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/profile.hpp"
+#include "obs/registry.hpp"
+#include "obs/watchdog.hpp"
+
+namespace gep::obs {
+inline namespace on {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+constexpr int kMaxConns = 32;
+constexpr int kPortProbeSpan = 16;  // default port, then the next 15
+constexpr auto kConnDeadline = std::chrono::seconds(5);
+constexpr auto kPollTick = std::chrono::milliseconds(200);
+
+struct Conn {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  std::size_t written = 0;
+  bool responding = false;  // request parsed, response being written
+  std::chrono::steady_clock::time_point deadline;
+};
+
+struct Srv {
+  // start/stop lifecycle (not taken by the serve loop).
+  std::mutex run_mu;
+  std::thread thread;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stop_flag{false};
+  std::atomic<int> bound_port{-1};
+  int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};
+
+  std::atomic<std::uint64_t> requests{0};
+
+  // Published state read by handle() on the serve thread.
+  std::mutex hooks_mu;
+  std::string sha;
+  std::string dispatch;
+  bool have_build_info = false;
+  const ProgressMeter* progress = nullptr;
+  std::string progress_label;
+  bool io_active = false;
+  IoBoundPrediction io_pred;
+  std::function<std::uint64_t()> io_measured;
+};
+
+// Leaked (like the watchdog State): handle() stays callable from tests
+// and late-exiting threads without destruction-order hazards.
+Srv& srv() {
+  static Srv* s = new Srv();
+  return *s;
+}
+
+obs::Counter& obs_requests() {
+  static obs::Counter c = obs::counter("obs.stat.requests");
+  return c;
+}
+// The server's own request-handling latency: guarantees /metrics always
+// carries at least one histogram with populated buckets on a live job.
+obs::Histogram& obs_handle_ns() {
+  static obs::Histogram h = obs::histogram("obs.stat.handle_ns");
+  return h;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string make_response(int status, const std::string& ctype,
+                          const std::string& body, bool head_only) {
+  std::string r;
+  r.reserve(body.size() + 160);
+  r += "HTTP/1.1 ";
+  r += std::to_string(status);
+  r += ' ';
+  r += status_text(status);
+  r += "\r\nContent-Type: ";
+  r += ctype;
+  r += "\r\nContent-Length: ";
+  r += std::to_string(body.size());
+  if (status == 405) r += "\r\nAllow: GET, HEAD";
+  r += "\r\nConnection: close\r\n\r\n";
+  if (!head_only) r += body;
+  return r;
+}
+
+// --- endpoint bodies -------------------------------------------------------
+
+std::string metrics_body() {
+  Srv& s = srv();
+  expo::BuildInfo info;
+  {
+    std::lock_guard<std::mutex> lock(s.hooks_mu);
+    if (s.have_build_info) {
+      info.sha = s.sha;
+      info.dispatch = s.dispatch;
+    } else {
+      info = expo::env_build_info();
+    }
+  }
+  return expo::exposition(Registry::global().snapshot(), info);
+}
+
+const char* watchdog_state_name(WatchdogStatus::State st) {
+  switch (st) {
+    case WatchdogStatus::State::Stalled: return "stalled";
+    case WatchdogStatus::State::Recovered: return "recovered";
+    default: return "healthy";
+  }
+}
+
+std::string healthz_body(int* status) {
+  const WatchdogStatus ws = Watchdog::status();
+  // PageCache mirrors its async-worker degraded flag into this gauge
+  // (1.0 while degraded); reading it here keeps gep_obs below gep_extmem
+  // in the layering.
+  const bool degraded = obs::gauge("extmem.async.degraded").value() > 0.5;
+  const bool ok = ws.healthy() && !degraded;
+  *status = ok ? 200 : 503;
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("status", !ws.healthy() ? "stalled" : (degraded ? "degraded" : "ok"));
+  w.key("watchdog");
+  w.begin_object();
+  w.kv("running", Watchdog::running());
+  w.kv("state", watchdog_state_name(ws.state));
+  if (ws.state == WatchdogStatus::State::Stalled) {
+    w.kv("source", ws.source);
+    w.kv("age_ms", ws.age_ms);
+  }
+  w.kv("stalls", ws.stalls);
+  w.kv("dumps", ws.dumps);
+  w.end_object();
+  w.kv("async_degraded", degraded);
+  w.end_object();
+  return os.str();
+}
+
+std::string progress_body() {
+  Srv& s = srv();
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  {
+    std::lock_guard<std::mutex> lock(s.hooks_mu);
+    if (s.progress == nullptr) {
+      w.kv("active", false);
+    } else {
+      const ProgressSample p = s.progress->sample();
+      w.kv("active", true);
+      w.kv("label", s.progress_label);
+      w.kv("fraction", p.fraction);
+      w.kv("elapsed_s", p.elapsed_s);
+      w.kv("eta_s", p.eta_s);
+      w.kv("gflops", p.gflops);
+      w.kv("updates_done", p.updates_done);
+      w.kv("updates_total", p.updates_total);
+      w.kv("updates_per_s",
+           p.elapsed_s > 0 ? p.updates_done / p.elapsed_s : 0.0);
+    }
+  }
+  w.end_object();
+  return os.str();
+}
+
+std::string io_body() {
+  Srv& s = srv();
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  {
+    std::lock_guard<std::mutex> lock(s.hooks_mu);
+    if (!s.io_active) {
+      w.kv("active", false);
+    } else {
+      const std::uint64_t measured = s.io_measured ? s.io_measured() : 0;
+      w.kv("active", true);
+      w.kv("io_measured", measured);
+      w.kv("io_predicted", s.io_pred.total());
+      w.kv("cube_transfers", s.io_pred.cube_transfers);
+      w.kv("scan_transfers", s.io_pred.scan_transfers);
+      w.kv("io_ratio", io_bound_ratio(measured, s.io_pred));
+    }
+  }
+  w.end_object();
+  return os.str();
+}
+
+std::string flight_body(std::string_view query) {
+  const bool want_dump = query.find("dump=1") != std::string_view::npos;
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  if (want_dump) {
+    const bool ok = flight::dump_default(flightfmt::kReasonManual);
+    w.kv("dumped", ok);
+  } else {
+    w.kv("dumped", false);
+    w.kv("hint", "GET /flight?dump=1 to write a dump");
+  }
+  w.kv("path", flight::dump_path());
+  w.end_object();
+  return os.str();
+}
+
+constexpr const char* kIndexBody =
+    "gep stat server\n"
+    "  /metrics   Prometheus text exposition\n"
+    "  /healthz   200/503 liveness (watchdog + async-degraded)\n"
+    "  /progress  live ProgressMeter sample (JSON)\n"
+    "  /profile   per-(kind,depth) profile snapshot (JSON)\n"
+    "  /io        measured vs predicted block transfers (JSON)\n"
+    "  /flight?dump=1  trigger a flight-recorder dump\n";
+
+}  // namespace
+
+std::string StatServer::handle(std::string_view target, int* status,
+                               std::string* content_type) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string_view path = target;
+  std::string_view query;
+  if (const auto q = target.find('?'); q != std::string_view::npos) {
+    path = target.substr(0, q);
+    query = target.substr(q + 1);
+  }
+
+  int st = 200;
+  std::string ctype = "application/json";
+  std::string body;
+  if (path == "/metrics") {
+    ctype = "text/plain; version=0.0.4; charset=utf-8";
+    body = metrics_body();
+  } else if (path == "/healthz") {
+    body = healthz_body(&st);
+  } else if (path == "/progress") {
+    body = progress_body();
+  } else if (path == "/profile") {
+    body = Profile::collect().json();
+  } else if (path == "/io") {
+    body = io_body();
+  } else if (path == "/flight") {
+    body = flight_body(query);
+  } else if (path == "/" || path.empty()) {
+    ctype = "text/plain; charset=utf-8";
+    body = kIndexBody;
+  } else {
+    st = 404;
+    body = "{\"error\":\"not found\"}";
+  }
+
+  srv().requests.fetch_add(1, std::memory_order_relaxed);
+  obs_requests().inc();
+  obs_handle_ns().observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  if (status != nullptr) *status = st;
+  if (content_type != nullptr) *content_type = ctype;
+  return body;
+}
+
+namespace {
+
+// Parses the buffered request head and builds the full response. Returns
+// false while the request is still incomplete (keep reading).
+bool try_respond(Conn& c) {
+  if (c.in.size() > kMaxRequestBytes) {
+    c.out = make_response(400, "application/json",
+                          "{\"error\":\"request too large\"}", false);
+    return true;
+  }
+  const auto head_end = c.in.find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+
+  const auto line_end = c.in.find("\r\n");
+  const std::string_view line(c.in.data(), line_end);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                                 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.substr(sp2 + 1).rfind("HTTP/1.", 0) != 0) {
+    c.out = make_response(400, "application/json",
+                          "{\"error\":\"malformed request\"}", false);
+    return true;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET" && method != "HEAD") {
+    c.out = make_response(405, "application/json",
+                          "{\"error\":\"method not allowed\"}", false);
+    return true;
+  }
+  int status = 200;
+  std::string ctype;
+  const std::string body = StatServer::handle(target, &status, &ctype);
+  c.out = make_response(status, ctype, body, method == "HEAD");
+  return true;
+}
+
+void close_conn(Conn& c) {
+  if (c.fd >= 0) ::close(c.fd);
+  c.fd = -1;
+}
+
+void serve_loop() {
+  Srv& s = srv();
+  std::vector<Conn> conns;
+  while (!s.stop_flag.load(std::memory_order_acquire)) {
+    const std::size_t n_polled = conns.size();
+    std::vector<pollfd> pfds;
+    pfds.push_back({s.listen_fd, POLLIN, 0});
+    pfds.push_back({s.wake_pipe[0], POLLIN, 0});
+    for (const Conn& c : conns) {
+      pfds.push_back(
+          {c.fd, static_cast<short>(c.responding ? POLLOUT : POLLIN), 0});
+    }
+    const int timeout_ms =
+        static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                             kPollTick)
+                             .count());
+    ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (s.stop_flag.load(std::memory_order_acquire)) break;
+
+    if ((pfds[1].revents & POLLIN) != 0) {
+      char buf[64];
+      while (::read(s.wake_pipe[0], buf, sizeof buf) > 0) {
+      }
+    }
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(s.listen_fd, nullptr, nullptr);
+        if (fd < 0) break;
+        if (conns.size() >= kMaxConns || !set_nonblocking(fd)) {
+          ::close(fd);
+          continue;
+        }
+        Conn c;
+        c.fd = fd;
+        c.deadline = std::chrono::steady_clock::now() + kConnDeadline;
+        conns.push_back(std::move(c));
+      }
+    }
+
+    // Only the first n_polled conns have pollfd entries; connections
+    // accepted this tick wait for the next poll round.
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n_polled; ++i) {
+      Conn& c = conns[i];
+      const short rev = pfds[2 + i].revents;
+      if ((rev & (POLLERR | POLLHUP | POLLNVAL)) != 0 && !c.responding) {
+        close_conn(c);
+        continue;
+      }
+      if (!c.responding && (rev & POLLIN) != 0) {
+        char buf[4096];
+        for (;;) {
+          const ssize_t got = ::read(c.fd, buf, sizeof buf);
+          if (got > 0) {
+            c.in.append(buf, static_cast<std::size_t>(got));
+            if (c.in.size() > kMaxRequestBytes + sizeof buf) break;
+            continue;
+          }
+          if (got == 0 && !try_respond(c)) close_conn(c);  // EOF, no request
+          break;
+        }
+        if (c.fd >= 0 && !c.responding && try_respond(c)) {
+          c.responding = true;
+          c.written = 0;
+        }
+      }
+      if (c.fd >= 0 && c.responding &&
+          ((rev & POLLOUT) != 0 || c.written < c.out.size())) {
+        while (c.written < c.out.size()) {
+          const ssize_t put = ::write(c.fd, c.out.data() + c.written,
+                                      c.out.size() - c.written);
+          if (put > 0) {
+            c.written += static_cast<std::size_t>(put);
+            continue;
+          }
+          if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          close_conn(c);  // peer went away mid-write
+          break;
+        }
+        if (c.fd >= 0 && c.written >= c.out.size()) close_conn(c);
+      }
+      if (c.fd >= 0 && now > c.deadline) close_conn(c);  // slow client
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const Conn& c) { return c.fd < 0; }),
+                conns.end());
+  }
+  for (Conn& c : conns) close_conn(c);
+}
+
+// Binds 127.0.0.1:port; returns the fd or -1.
+int bind_port(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0 || !set_nonblocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+bool StatServer::start(int port) {
+  if (port < 0 || port > 65535) return false;
+  Srv& s = srv();
+  std::lock_guard<std::mutex> lock(s.run_mu);
+  if (s.running.load(std::memory_order_relaxed)) return false;
+
+  int fd = -1;
+  if (port == 0) {
+    fd = bind_port(0);
+  } else {
+    // Port-in-use fallback: probe the requested port and the next 15,
+    // then settle for an ephemeral one (two jobs on one host both
+    // exporting must not fight; port() reports the winner).
+    for (int p = port; p < port + kPortProbeSpan && p <= 65535; ++p) {
+      fd = bind_port(p);
+      if (fd >= 0) break;
+    }
+    if (fd < 0) fd = bind_port(0);
+  }
+  if (fd < 0) return false;
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  if (::pipe(s.wake_pipe) != 0) {
+    ::close(fd);
+    return false;
+  }
+  set_nonblocking(s.wake_pipe[0]);
+  set_nonblocking(s.wake_pipe[1]);
+  // A scrape racing job teardown can hit a closed socket mid-write;
+  // that must be an EPIPE errno, not process death.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  s.listen_fd = fd;
+  s.bound_port.store(static_cast<int>(ntohs(bound.sin_port)),
+                     std::memory_order_relaxed);
+  s.stop_flag.store(false, std::memory_order_release);
+  s.thread = std::thread(serve_loop);
+  s.running.store(true, std::memory_order_release);
+  std::fprintf(stderr, "[gep-stat] serving on 127.0.0.1:%d\n",
+               s.bound_port.load(std::memory_order_relaxed));
+  return true;
+}
+
+bool StatServer::start_from_env() {
+  const char* v = std::getenv("GEP_STAT_PORT");
+  if (v == nullptr || *v == 0) return false;
+  char* end = nullptr;
+  const long port = std::strtol(v, &end, 10);
+  if (end == v || port < 0 || port > 65535) return false;
+  return start(static_cast<int>(port));
+}
+
+void StatServer::stop() {
+  Srv& s = srv();
+  std::thread joinme;
+  {
+    std::lock_guard<std::mutex> lock(s.run_mu);
+    if (!s.running.load(std::memory_order_relaxed)) return;
+    s.stop_flag.store(true, std::memory_order_release);
+    const char b = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(s.wake_pipe[1], &b, 1);
+    joinme = std::move(s.thread);
+    s.running.store(false, std::memory_order_release);
+  }
+  joinme.join();
+  std::lock_guard<std::mutex> lock(s.run_mu);
+  ::close(s.listen_fd);
+  ::close(s.wake_pipe[0]);
+  ::close(s.wake_pipe[1]);
+  s.listen_fd = -1;
+  s.wake_pipe[0] = s.wake_pipe[1] = -1;
+  s.bound_port.store(-1, std::memory_order_relaxed);
+}
+
+bool StatServer::running() {
+  return srv().running.load(std::memory_order_acquire);
+}
+
+int StatServer::port() {
+  return srv().bound_port.load(std::memory_order_relaxed);
+}
+
+std::uint64_t StatServer::requests_served() {
+  return srv().requests.load(std::memory_order_relaxed);
+}
+
+void StatServer::set_build_info(const char* sha, const char* dispatch) {
+  Srv& s = srv();
+  const expo::BuildInfo env = expo::env_build_info();
+  std::lock_guard<std::mutex> lock(s.hooks_mu);
+  s.sha = sha != nullptr && *sha != 0 ? sha : env.sha;
+  s.dispatch = dispatch != nullptr && *dispatch != 0 ? dispatch : "unknown";
+  s.have_build_info = true;
+}
+
+void StatServer::set_progress(const ProgressMeter* m, const char* label) {
+  if (m == nullptr) return;
+  Srv& s = srv();
+  std::lock_guard<std::mutex> lock(s.hooks_mu);
+  s.progress = m;
+  s.progress_label = label != nullptr ? label : "";
+}
+
+void StatServer::clear_progress(const ProgressMeter* m) {
+  Srv& s = srv();
+  std::lock_guard<std::mutex> lock(s.hooks_mu);
+  if (s.progress == m) {
+    s.progress = nullptr;
+    s.progress_label.clear();
+  }
+}
+
+void StatServer::set_io_model(const IoBoundPrediction& predicted,
+                              std::function<std::uint64_t()> measured) {
+  Srv& s = srv();
+  std::lock_guard<std::mutex> lock(s.hooks_mu);
+  s.io_active = true;
+  s.io_pred = predicted;
+  s.io_measured = std::move(measured);
+}
+
+void StatServer::clear_io_model() {
+  Srv& s = srv();
+  std::lock_guard<std::mutex> lock(s.hooks_mu);
+  s.io_active = false;
+  s.io_measured = nullptr;
+}
+
+}  // namespace on
+}  // namespace gep::obs
+
+#endif  // GEP_OBS

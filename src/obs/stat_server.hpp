@@ -1,0 +1,162 @@
+// Embedded HTTP/1.1 stat server: the observability layer over the wire.
+//
+// Everything PRs 1/5/6 built — the sharded registry, per-(kind,depth)
+// profiles, the flight recorder, the stall watchdog, progress/ETA and
+// the predicted-I/O accountant — was reachable only via SIGUSR1 dumps
+// and post-run JSON. This server makes the same state scrapeable from a
+// *live* job:
+//
+//   GET /metrics   Prometheus text exposition (obs/expo.hpp): counters,
+//                  gauges, histograms as cumulative buckets, plus
+//                  gep_build_info{sha,dispatch_level,obs}
+//   GET /healthz   200/503 from Watchdog::status() + the PageCache
+//                  async-degraded gauge; JSON body with the detail
+//   GET /progress  JSON from the published ProgressMeter: fraction,
+//                  ETA, updates/s (inactive -> {"active":false})
+//   GET /profile   Profile::collect().json(): per-(kind,depth) rows
+//                  over the live Tracer buffers
+//   GET /io        measured vs igep_io_prediction transfers + ratio for
+//                  the published OOC leg
+//   GET /flight?dump=1   trigger a flight-recorder dump (same path as
+//                  SIGUSR1), JSON {dumped,path}
+//   GET /          plain-text endpoint index
+//
+// Design: one listener thread with a poll() multiplexer — no
+// third-party deps, no thread per connection. Responses are built
+// whole, written non-blockingly, Connection: close. Slow or stuck
+// clients are bounded by a per-connection deadline; requests are capped
+// at 8 KiB (413-free: over-cap is a plain 400). Only GET/HEAD are
+// served (405 otherwise). Binds 127.0.0.1 only: this is an operator
+// loopback/scrape port, not a public listener.
+//
+// Opt-in: $GEP_STAT_PORT=<port> (start_from_env, called from the bench
+// banner and the solver apps) or StatServer::start(port). Port 0 binds
+// an ephemeral port; a busy port falls back to the next 15 ports and
+// then ephemeral, so two jobs on one host never fight over the default.
+// port() reports what was actually bound.
+//
+// GEP_OBS=0 compiles the whole API to inert stubs (start returns false,
+// handle() reports the disabled build) — same inline-namespace scheme
+// as the rest of obs/.
+#pragma once
+
+#ifndef GEP_OBS
+#define GEP_OBS 1
+#endif
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "obs/io_model.hpp"
+#include "obs/progress.hpp"
+
+namespace gep::obs {
+
+#if GEP_OBS
+
+inline namespace on {
+
+class StatServer {
+ public:
+  // Starts the listener thread. Returns false if already running or no
+  // port in [port, port+15] ∪ {ephemeral} could be bound. port 0 binds
+  // an ephemeral port directly.
+  static bool start(int port);
+  // Reads $GEP_STAT_PORT; unset, empty or negative leaves the server
+  // off ("0" is valid: ephemeral).
+  static bool start_from_env();
+  static void stop();
+  static bool running();
+  // Actually-bound TCP port (after fallback), -1 while stopped.
+  static int port();
+  static std::uint64_t requests_served();
+
+  // --- published state -----------------------------------------------------
+  // Identity labels for gep_build_info. nullptr sha falls back to
+  // $GEP_GIT_SHA / $GITHUB_SHA / "unknown". Callable before start().
+  // (The dispatch level is injected by callers that link the SIMD layer
+  // — gep_obs sits below gep_simd and cannot ask it directly.)
+  static void set_build_info(const char* sha, const char* dispatch);
+
+  // Publishes a meter for /progress. The meter must have had begin()
+  // called and must outlive the publication (use ScopedStatProgress).
+  static void set_progress(const ProgressMeter* m, const char* label);
+  // Unpublishes only if `m` is still the published meter (nested legs
+  // tearing down out of order can't clobber each other).
+  static void clear_progress(const ProgressMeter* m);
+
+  // Publishes the /io comparison: the closed-form prediction for the
+  // running leg plus a thread-safe sampler of measured block transfers
+  // (typically PageCacheStats page_ins+page_outs deltas).
+  static void set_io_model(const IoBoundPrediction& predicted,
+                           std::function<std::uint64_t()> measured);
+  static void clear_io_model();
+
+  // Routes one request target ("/metrics", "/flight?dump=1", ...) to a
+  // response body, status and content type — the serve loop and the
+  // golden-format tests share this path.
+  static std::string handle(std::string_view target, int* status,
+                            std::string* content_type);
+};
+
+}  // namespace on
+
+#else  // GEP_OBS == 0
+
+inline namespace off {
+
+class StatServer {
+ public:
+  static bool start(int) { return false; }
+  static bool start_from_env() { return false; }
+  static void stop() {}
+  static bool running() { return false; }
+  static int port() { return -1; }
+  static std::uint64_t requests_served() { return 0; }
+  static void set_build_info(const char*, const char*) {}
+  static void set_progress(const ProgressMeter*, const char*) {}
+  static void clear_progress(const ProgressMeter*) {}
+  static void set_io_model(const IoBoundPrediction&,
+                           std::function<std::uint64_t()>) {}
+  static void clear_io_model() {}
+  static std::string handle(std::string_view, int* status,
+                            std::string* content_type) {
+    if (status != nullptr) *status = 503;
+    if (content_type != nullptr) *content_type = "application/json";
+    return "{\"error\":\"observability disabled (GEP_OBS=0)\"}";
+  }
+};
+
+}  // namespace off
+
+#endif  // GEP_OBS
+
+// RAII publication of a leg's progress meter / io model — defined once
+// for both builds (the off-build calls collapse into the stubs above).
+class ScopedStatProgress {
+ public:
+  ScopedStatProgress(const ProgressMeter& m, const char* label) : m_(&m) {
+    StatServer::set_progress(m_, label);
+  }
+  ~ScopedStatProgress() { StatServer::clear_progress(m_); }
+  ScopedStatProgress(const ScopedStatProgress&) = delete;
+  ScopedStatProgress& operator=(const ScopedStatProgress&) = delete;
+
+ private:
+  const ProgressMeter* m_;
+};
+
+class ScopedStatIoModel {
+ public:
+  ScopedStatIoModel(const IoBoundPrediction& predicted,
+                    std::function<std::uint64_t()> measured) {
+    StatServer::set_io_model(predicted, std::move(measured));
+  }
+  ~ScopedStatIoModel() { StatServer::clear_io_model(); }
+  ScopedStatIoModel(const ScopedStatIoModel&) = delete;
+  ScopedStatIoModel& operator=(const ScopedStatIoModel&) = delete;
+};
+
+}  // namespace gep::obs

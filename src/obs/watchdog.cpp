@@ -183,6 +183,40 @@ std::uint64_t Watchdog::dumps_written() {
   return state().dumps.load(std::memory_order_relaxed);
 }
 
+WatchdogStatus Watchdog::status() {
+  State& s = state();
+  WatchdogStatus st;
+  st.stalls = s.stalls.load(std::memory_order_relaxed);
+  st.dumps = s.dumps.load(std::memory_order_relaxed);
+  // Scan the source table for open incidents; report the one with the
+  // oldest beat. Same lock-free reads (used -> idle -> incident) the
+  // monitor uses, so a query between polls still sees the incident the
+  // monitor opened — and a source that beat since (incident closed at
+  // the next poll, but already below threshold now) is reported stalled
+  // only until that poll, which matches what the operator cares about.
+  const std::uint64_t now = flight::now_ns();
+  std::uint64_t worst_age = 0;
+  for (int i = 0; i < kMaxSources; ++i) {
+    Source& src = s.sources[i];
+    if (!src.used.load(std::memory_order_acquire)) continue;
+    if (src.idle.load(std::memory_order_relaxed)) continue;
+    if (src.incident.load(std::memory_order_relaxed) == kIncidentNone)
+      continue;
+    const std::uint64_t beat = src.last_beat_ns.load(std::memory_order_relaxed);
+    const std::uint64_t age = now > beat ? now - beat : 0;
+    if (st.state != WatchdogStatus::State::Stalled || age > worst_age) {
+      st.state = WatchdogStatus::State::Stalled;
+      st.source = src.name;
+      st.age_ms = static_cast<double>(age) / 1e6;
+      worst_age = age;
+    }
+  }
+  if (st.state != WatchdogStatus::State::Stalled && st.stalls > 0) {
+    st.state = WatchdogStatus::State::Recovered;
+  }
+  return st;
+}
+
 int Watchdog::register_source(const char* name) {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.reg_mu);

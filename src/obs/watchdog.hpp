@@ -27,8 +27,26 @@
 #endif
 
 #include <cstdint>
+#include <string>
 
 namespace gep::obs {
+
+// Queryable stall state (same shape in both builds) so the stat server
+// and tests read health directly instead of parsing stderr.
+//   Healthy   — watchdog off, or running with no incident ever recorded
+//   Stalled   — at least one active source has an open incident;
+//               source/age_ms describe the worst (oldest-beat) offender
+//   Recovered — no open incident, but stalls were detected earlier
+struct WatchdogStatus {
+  enum class State { Healthy, Stalled, Recovered };
+  State state = State::Healthy;
+  std::string source;     // worst stalled source's name (Stalled only)
+  double age_ms = 0.0;    // ms since that source's last beat (Stalled only)
+  std::uint64_t stalls = 0;
+  std::uint64_t dumps = 0;
+
+  bool healthy() const { return state != State::Stalled; }
+};
 
 #if GEP_OBS
 
@@ -51,6 +69,11 @@ class Watchdog {
 
   static std::uint64_t stalls_detected();
   static std::uint64_t dumps_written();
+
+  // Current stall state, computed from the source table (not from the
+  // monitor's last poll — a query between polls still sees an open
+  // incident). Safe to call from any thread, including while stopped.
+  static WatchdogStatus status();
 
   // --- heartbeat sources ---------------------------------------------------
   // Registration is mutex-protected and rare (thread/pool startup); beat
@@ -121,6 +144,7 @@ class Watchdog {
   static bool running() { return false; }
   static std::uint64_t stalls_detected() { return 0; }
   static std::uint64_t dumps_written() { return 0; }
+  static WatchdogStatus status() { return {}; }
   static int register_source(const char*) { return -1; }
   static void unregister_source(int) {}
   static void beat(int) {}

@@ -26,6 +26,12 @@ obs::Counter& obs_idle_wakes() {
   static obs::Counter c = obs::counter("parallel.ws.idle_wakes");
   return c;
 }
+// Level gauge of currently unparked workers across every live pool
+// (scraped by the stat server; a fully parked pool reads 0).
+obs::Gauge& obs_active_workers() {
+  static obs::Gauge g = obs::gauge("parallel.ws.active_workers");
+  return g;
+}
 
 }  // namespace
 
@@ -183,6 +189,7 @@ void WorkStealingPool::worker_loop(int id) {
   obs::flight::set_thread_name(wd_name);
   const int wd = obs::Watchdog::register_source(wd_name);
   obs::Watchdog::attach_thread(wd);
+  obs_active_workers().add(1.0);  // starts active; park/wake adjust below
   // Park/wake events only on transitions (an idle worker wakes every
   // millisecond; recording each wake would flood its ring). While
   // parked the source is idle — the watchdog clock only runs across
@@ -197,6 +204,7 @@ void WorkStealingPool::worker_loop(int id) {
         obs::flight::record(obs::flightfmt::kTaskWake,
                             static_cast<std::uint64_t>(id));
         obs::Watchdog::beat(wd);
+        obs_active_workers().add(1.0);
       }
     } else {
       if (!parked) {
@@ -204,6 +212,7 @@ void WorkStealingPool::worker_loop(int id) {
         obs::flight::record(obs::flightfmt::kTaskPark,
                             static_cast<std::uint64_t>(id));
         obs::Watchdog::set_idle(wd);
+        obs_active_workers().add(-1.0);
       }
       const auto park_start = std::chrono::steady_clock::now();
       {
@@ -225,6 +234,7 @@ void WorkStealingPool::worker_loop(int id) {
       obs_idle_wakes().inc();
     }
   }
+  if (!parked) obs_active_workers().add(-1.0);  // parked already subtracted
   obs::Watchdog::detach_thread();
   obs::Watchdog::unregister_source(wd);
   tls_pool = nullptr;

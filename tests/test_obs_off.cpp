@@ -47,6 +47,7 @@ TEST(ObsOff, HandlesAreInertNoOps) {
 
   obs::Gauge g = obs::gauge("off.g");
   g.set(3.25);
+  g.add(2.0);
   EXPECT_EQ(g.value(), 0.0);
 
   obs::Histogram h = obs::histogram("off.h");
@@ -167,12 +168,56 @@ TEST(ObsOff, WatchdogRefusesToStart) {
   EXPECT_FALSE(obs::Watchdog::running());
   EXPECT_EQ(obs::Watchdog::stalls_detected(), 0u);
   EXPECT_EQ(obs::Watchdog::dumps_written(), 0u);
+  const obs::WatchdogStatus st = obs::Watchdog::status();
+  EXPECT_EQ(st.state, obs::WatchdogStatus::State::Healthy);
+  EXPECT_TRUE(st.healthy());
+  EXPECT_EQ(st.stalls, 0u);
   EXPECT_EQ(obs::Watchdog::register_source("off"), -1);
   obs::Watchdog::beat(0);
   obs::Watchdog::beat_this_thread();
   EXPECT_EQ(obs::Watchdog::attached_thread(), -1);
   { obs::WatchdogThreadSource src("off-src"); EXPECT_EQ(src.id(), -1); }
   obs::Watchdog::stop();
+}
+
+// The wire surface compiles to refusals: the server never starts, the
+// router answers 503 with a machine-readable reason, and the RAII
+// publication helpers collapse into the stubs.
+TEST(ObsOff, StatServerRefusesToServe) {
+  EXPECT_FALSE(obs::StatServer::start(0));
+  EXPECT_FALSE(obs::StatServer::start_from_env());
+  EXPECT_FALSE(obs::StatServer::running());
+  EXPECT_EQ(obs::StatServer::port(), -1);
+  EXPECT_EQ(obs::StatServer::requests_served(), 0u);
+  obs::StatServer::set_build_info("sha", "dispatch");
+  int status = 0;
+  std::string ctype;
+  const std::string body = obs::StatServer::handle("/metrics", &status,
+                                                   &ctype);
+  EXPECT_EQ(status, 503);
+  EXPECT_EQ(ctype, "application/json");
+  EXPECT_NE(body.find("GEP_OBS=0"), std::string::npos);
+  obs::ProgressMeter m;
+  m.begin(10.0);
+  { obs::ScopedStatProgress pub(m, "off"); }
+  {
+    obs::ScopedStatIoModel io(obs::igep_io_prediction(64, 1 << 20, 1 << 12),
+                              [] { return std::uint64_t{0}; });
+  }
+  obs::StatServer::stop();
+}
+
+// The exposition formatter stays live in both builds (the offline
+// `gep_events --prom` path must render dumps from instrumented runs):
+// an empty off-build snapshot is just the identity series.
+TEST(ObsOff, ExpositionRendersBuildInfoOnly) {
+  obs::expo::BuildInfo info;
+  info.sha = "s";
+  info.dispatch = "d";
+  EXPECT_FALSE(info.obs_enabled) << "default must reflect this build";
+  EXPECT_EQ(obs::expo::exposition(obs::Registry::global().snapshot(), info),
+            "# TYPE gep_build_info gauge\n"
+            "gep_build_info{sha=\"s\",dispatch_level=\"d\",obs=\"off\"} 1\n");
 }
 
 TEST(ObsOff, ProgressMeterReportsZeros) {

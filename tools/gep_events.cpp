@@ -3,6 +3,11 @@
 //   gep_events DUMP.gepdump                  # human-readable text
 //   gep_events DUMP.gepdump --chrome out.json  # chrome://tracing view
 //   gep_events DUMP.gepdump --metrics        # embedded registry JSON
+//   gep_events DUMP.gepdump --prom           # same, as Prometheus text
+//
+// --prom renders through obs/expo.hpp — the identical formatter behind
+// the live stat server's /metrics — so the offline and live exposition
+// cannot drift.
 //
 // The format is host-endian binary (obs/flight_recorder.hpp,
 // namespace flightfmt): FileHeader, per-thread ThreadHeader + events
@@ -16,8 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/expo.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
+#include "obs/json_read.hpp"
 
 namespace {
 
@@ -233,6 +240,7 @@ int main(int argc, char** argv) {
   const char* dump_path = nullptr;
   const char* chrome_path = nullptr;
   bool show_metrics = false;
+  bool show_prom = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--chrome") {
@@ -243,11 +251,14 @@ int main(int argc, char** argv) {
       chrome_path = argv[++i];
     } else if (a == "--metrics") {
       show_metrics = true;
+    } else if (a == "--prom") {
+      show_prom = true;
     } else if (a == "-h" || a == "--help") {
       std::printf(
-          "usage: %s DUMP.gepdump [--chrome OUT.json] [--metrics]\n"
+          "usage: %s DUMP.gepdump [--chrome OUT.json] [--metrics|--prom]\n"
           "Decodes a flight-recorder dump to text, a chrome://tracing\n"
-          "JSON, or the embedded metrics-registry snapshot.\n",
+          "JSON, or the embedded metrics-registry snapshot (--metrics:\n"
+          "raw JSON; --prom: Prometheus text exposition).\n",
           argv[0]);
       return 0;
     } else if (dump_path == nullptr) {
@@ -268,10 +279,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", dump_path, err.c_str());
     return 1;
   }
-  if (show_metrics) {
+  if (show_metrics || show_prom) {
     if (d.metrics_json.empty()) {
       std::fprintf(stderr, "%s: no metrics section\n", dump_path);
       return 1;
+    }
+    if (show_prom) {
+      gep::obs::JsonValue v;
+      std::string perr;
+      if (!gep::obs::JsonValue::parse(d.metrics_json, &v, &perr)) {
+        std::fprintf(stderr, "%s: bad metrics JSON: %s\n", dump_path,
+                     perr.c_str());
+        return 1;
+      }
+      gep::obs::expo::BuildInfo info = gep::obs::expo::env_build_info();
+      info.obs_enabled = true;  // the dump came from an instrumented build
+      std::fputs(
+          gep::obs::expo::exposition(
+              gep::obs::expo::samples_from_snapshot_json(v), info)
+              .c_str(),
+          stdout);
+      return 0;
     }
     std::printf("%s\n", d.metrics_json.c_str());
     return 0;

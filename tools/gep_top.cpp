@@ -1,0 +1,391 @@
+// gep_top: live console monitor for a job exporting via the embedded
+// stat server (obs/stat_server.hpp).
+//
+//   gep_top                     # $GEP_STAT_PORT or 9464, refresh 1s
+//   gep_top --port 9470         # explicit port
+//   gep_top --interval 0.5      # refresh cadence
+//   gep_top --once --json       # one merged JSON sample (scripting)
+//
+// Curses-free: the dashboard repaints with plain ANSI control sequences
+// (home + clear-to-end), so it works in any terminal and degrades to a
+// scrolling log when redirected. Rates (updates/s, steals/s, prefetch
+// hit rate) come from deltas between successive /metrics scrapes; the
+// rest is read straight off /progress, /io, /healthz and /profile.
+//
+// The tool is a pure HTTP client over loopback — no linkage into the
+// job, no shared memory; it sees exactly what any Prometheus scraper
+// sees.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/json_read.hpp"
+
+namespace {
+
+using gep::obs::JsonValue;
+using gep::obs::JsonWriter;
+
+struct HttpResult {
+  bool ok = false;
+  int status = 0;
+  std::string body;
+};
+
+// Minimal blocking GET against 127.0.0.1:port with 2s socket timeouts.
+HttpResult http_get(int port, const char* path) {
+  HttpResult r;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return r;
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return r;
+  }
+  std::string req = "GET ";
+  req += path;
+  req += " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return r;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.rfind("HTTP/1.", 0) != 0) return r;
+  r.status = std::atoi(raw.c_str() + raw.find(' ') + 1);
+  r.body = raw.substr(head_end + 4);
+  r.ok = true;
+  return r;
+}
+
+// Prometheus text -> {series name (with labels) -> value}.
+std::map<std::string, double> parse_metrics(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0) continue;
+    out[line.substr(0, sp)] = std::atof(line.c_str() + sp + 1);
+  }
+  return out;
+}
+
+double series(const std::map<std::string, double>& m, const char* name) {
+  const auto it = m.find(name);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+struct Sample {
+  std::chrono::steady_clock::time_point t;
+  bool reachable = false;
+  std::map<std::string, double> metrics;
+  int healthz_status = 0;
+  JsonValue healthz;
+  JsonValue progress;
+  JsonValue io;
+  JsonValue profile;
+  std::string healthz_raw, progress_raw, io_raw;
+};
+
+Sample scrape(int port) {
+  Sample s;
+  s.t = std::chrono::steady_clock::now();
+  const HttpResult m = http_get(port, "/metrics");
+  if (!m.ok) return s;
+  s.reachable = true;
+  s.metrics = parse_metrics(m.body);
+  if (const HttpResult h = http_get(port, "/healthz"); h.ok) {
+    s.healthz_status = h.status;
+    s.healthz_raw = h.body;
+    JsonValue::parse(h.body, &s.healthz);
+  }
+  if (const HttpResult p = http_get(port, "/progress"); p.ok) {
+    s.progress_raw = p.body;
+    JsonValue::parse(p.body, &s.progress);
+  }
+  if (const HttpResult i = http_get(port, "/io"); i.ok) {
+    s.io_raw = i.body;
+    JsonValue::parse(i.body, &s.io);
+  }
+  if (const HttpResult pr = http_get(port, "/profile"); pr.ok) {
+    JsonValue::parse(pr.body, &s.profile);
+  }
+  return s;
+}
+
+struct ProfRow {
+  char kind = '?';
+  int depth = 0;
+  double calls = 0;
+  double self_ns = 0;
+};
+
+std::vector<ProfRow> top_self_time(const JsonValue& profile, std::size_t n) {
+  std::vector<ProfRow> rows;
+  if (const JsonValue* entries = profile.find("entries");
+      entries != nullptr && entries->is_array()) {
+    for (const JsonValue& e : entries->items()) {
+      ProfRow r;
+      const std::string& k = e["kind"].as_string();
+      r.kind = k.empty() ? '?' : k[0];
+      r.depth = static_cast<int>(e["depth"].as_double());
+      r.calls = e["calls"].as_double();
+      r.self_ns = e["self_ns"].as_double();
+      rows.push_back(r);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfRow& a, const ProfRow& b) {
+              return a.self_ns > b.self_ns;
+            });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+// Per-second delta of a counter series between two scrapes.
+double rate(const Sample& prev, const Sample& cur, const char* name) {
+  if (!prev.reachable) return 0.0;
+  const double dt =
+      std::chrono::duration<double>(cur.t - prev.t).count();
+  if (dt <= 0) return 0.0;
+  return (series(cur.metrics, name) - series(prev.metrics, name)) / dt;
+}
+
+std::string progress_bar(double fraction, int width) {
+  fraction = std::min(1.0, std::max(0.0, fraction));
+  const int full = static_cast<int>(fraction * width + 0.5);
+  std::string bar = "[";
+  for (int i = 0; i < width; ++i) bar += i < full ? '#' : '-';
+  bar += ']';
+  return bar;
+}
+
+std::string fmt_eta(double eta_s) {
+  if (eta_s < 0) return "?";
+  char buf[32];
+  if (eta_s >= 3600) {
+    std::snprintf(buf, sizeof buf, "%.1fh", eta_s / 3600);
+  } else if (eta_s >= 60) {
+    std::snprintf(buf, sizeof buf, "%.1fm", eta_s / 60);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fs", eta_s);
+  }
+  return buf;
+}
+
+void render(int port, const Sample& prev, const Sample& cur, bool repaint) {
+  if (repaint) std::fputs("\x1b[H\x1b[2J", stdout);
+  std::printf("gep_top — 127.0.0.1:%d", port);
+  if (!cur.reachable) {
+    std::printf("  [unreachable]\n");
+    std::fflush(stdout);
+    return;
+  }
+  const char* health = cur.healthz_status == 200   ? "healthy"
+                       : cur.healthz_status == 503 ? "UNHEALTHY"
+                                                   : "?";
+  std::printf("  health: %s", health);
+  if (const JsonValue* wd = cur.healthz.find("watchdog")) {
+    std::printf(" (watchdog %s, stalls %.0f, dumps %.0f)",
+                (*wd)["state"].as_string().c_str(),
+                (*wd)["stalls"].as_double(), (*wd)["dumps"].as_double());
+  }
+  std::printf("\n\n");
+
+  if (cur.progress["active"].as_bool()) {
+    const double frac = cur.progress["fraction"].as_double();
+    std::printf("  %s %5.1f%%  %s\n", progress_bar(frac, 40).c_str(),
+                100.0 * frac, cur.progress["label"].as_string().c_str());
+    std::printf("  elapsed %.1fs  eta %s  %.2f GF/s  %.3g updates/s\n",
+                cur.progress["elapsed_s"].as_double(),
+                fmt_eta(cur.progress["eta_s"].as_double()).c_str(),
+                cur.progress["gflops"].as_double(),
+                cur.progress["updates_per_s"].as_double());
+  } else {
+    std::printf("  (no active progress meter)\n");
+  }
+
+  if (cur.io["active"].as_bool()) {
+    std::printf("  io: measured %.0f  predicted %.0f  ratio %.3f\n",
+                cur.io["io_measured"].as_double(),
+                cur.io["io_predicted"].as_double(),
+                cur.io["io_ratio"].as_double());
+  }
+
+  const double d_pref_hits =
+      rate(prev, cur, "gep_extmem_prefetch_hits_total");
+  const double d_faults =
+      rate(prev, cur, "gep_extmem_page_cache_hits_total") +
+      rate(prev, cur, "gep_extmem_page_cache_misses_total");
+  std::printf(
+      "  cache: occupancy %.0f%%  prefetch q %.0f  hit-rate %.1f%%  "
+      "degraded %s\n",
+      100.0 * series(cur.metrics, "gep_extmem_cache_occupancy"),
+      series(cur.metrics, "gep_extmem_prefetch_queue_depth"),
+      d_faults > 0 ? 100.0 * d_pref_hits / d_faults : 0.0,
+      series(cur.metrics, "gep_extmem_async_degraded") > 0.5 ? "YES" : "no");
+  std::printf(
+      "  workers: active %.0f  steals/s %.1f  parks/s %.1f\n",
+      series(cur.metrics, "gep_parallel_ws_active_workers"),
+      rate(prev, cur, "gep_parallel_ws_steals_total"),
+      rate(prev, cur, "gep_parallel_ws_idle_wakes_total"));
+
+  const std::vector<ProfRow> rows = top_self_time(cur.profile, 5);
+  if (!rows.empty()) {
+    std::printf("\n  %-6s %-6s %12s %14s\n", "kind", "depth", "calls",
+                "self-ms");
+    for (const ProfRow& r : rows) {
+      std::printf("  %-6c %-6d %12.0f %14.2f\n", r.kind, r.depth, r.calls,
+                  r.self_ns / 1e6);
+    }
+  }
+  std::fflush(stdout);
+}
+
+// One merged machine-readable sample: the raw endpoint bodies spliced
+// in verbatim plus the parsed metric series.
+void render_json(int port, const Sample& cur) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("port", port);
+  w.kv("reachable", cur.reachable);
+  if (cur.reachable) {
+    w.kv("healthz_status", cur.healthz_status);
+    if (!cur.healthz_raw.empty()) {
+      w.key("healthz");
+      w.raw(cur.healthz_raw);
+    }
+    if (!cur.progress_raw.empty()) {
+      w.key("progress");
+      w.raw(cur.progress_raw);
+    }
+    if (!cur.io_raw.empty()) {
+      w.key("io");
+      w.raw(cur.io_raw);
+    }
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& [name, value] : cur.metrics) w.kv(name, value);
+    w.end_object();
+    w.key("profile_top");
+    w.begin_array();
+    for (const ProfRow& r : top_self_time(cur.profile, 5)) {
+      w.begin_object();
+      const char kind[2] = {r.kind, 0};
+      w.kv("kind", kind);
+      w.kv("depth", r.depth);
+      w.kv("calls", r.calls);
+      w.kv("self_ns", r.self_ns);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  std::printf("%s\n", os.str().c_str());
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_sigint(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  double interval_s = 1.0;
+  bool once = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (a == "--interval" && i + 1 < argc) {
+      interval_s = std::atof(argv[++i]);
+    } else if (a == "--once") {
+      once = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "-h" || a == "--help") {
+      std::printf(
+          "usage: %s [--port N] [--interval SEC] [--once] [--json]\n"
+          "Live dashboard over a job's embedded stat server.\n"
+          "Default port: $GEP_STAT_PORT, else 9464.\n",
+          argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    const char* env = std::getenv("GEP_STAT_PORT");
+    port = env != nullptr ? std::atoi(env) : 0;
+    if (port <= 0) port = 9464;
+  }
+  if (json && !once) {
+    std::fprintf(stderr, "--json requires --once\n");
+    return 2;
+  }
+
+  if (once) {
+    const Sample s = scrape(port);
+    if (json) {
+      render_json(port, s);
+    } else {
+      render(port, Sample{}, s, /*repaint=*/false);
+    }
+    return s.reachable ? 0 : 1;
+  }
+
+  std::signal(SIGINT, on_sigint);
+  Sample prev;
+  while (g_stop == 0) {
+    const Sample cur = scrape(port);
+    render(port, prev, cur, /*repaint=*/true);
+    prev = cur;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(interval_s);
+    while (g_stop == 0 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
